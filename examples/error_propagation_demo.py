@@ -1,0 +1,78 @@
+"""Figure 1, live: how value noise propagates through a peeling RIBLT.
+
+The paper's key technical worry is that a cancelled-but-noisy pair leaves
+a residue in its cells, and every later peel through those cells drags
+the residue along (Figure 1).  Lemma 3.10 says that in the sparse regime
+``c < 1/(q(q-1))`` the residue touches only O(1) extracted values.  This
+demo (a) reproduces the effect on a real RIBLT and (b) shows the phase
+transition on the abstract hypergraph model, including why the density
+threshold matters.
+
+Run:  python examples/error_propagation_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro import RIBLT, PublicCoins
+from repro.analysis import format_table
+from repro.branching import error_propagation_trials, survival_recurrence
+from repro.iblt import molloy_threshold, riblt_sparsity_threshold
+
+
+def riblt_demo() -> None:
+    print("--- a cancelled noisy pair perturbs later extractions ---")
+    coins = PublicCoins(2024)
+    table = RIBLT(coins, "demo", cells=90, q=3, key_bits=32, dim=1, side=1000)
+    pairs = [(key, (100 + 7 * key,)) for key in range(8)]
+    table.insert_pairs(pairs)
+    # Alice's (999, 500) cancels Bob's (999, 510): same key, values 10 apart.
+    table.insert(999, (500,))
+    table.delete(999, (510,))
+    result = table.decode(random.Random(0))
+    print(f"decode success: {result.success}")
+    rows = []
+    recovered = dict(result.inserted)
+    for key, original in pairs:
+        got = recovered[key]
+        rows.append((key, original[0], got[0], got[0] - original[0]))
+    print(format_table(
+        ["key", "true value", "extracted", "absorbed error"], rows))
+    total = sum(abs(r[3]) for r in rows)
+    print(f"total absorbed error {total} (the seeded residue was 10; "
+          "Lemma 3.10: O(1) items touched)\n")
+
+
+def phase_transition_demo() -> None:
+    print("--- the density threshold 1/(q(q-1)) (Lemma 3.10) ---")
+    q = 3
+    threshold = riblt_sparsity_threshold(q)
+    rng = np.random.default_rng(1)
+    rows = []
+    for multiple in (0.5, 1.0, 2.0, 4.0, 4.8):
+        c = multiple * threshold
+        trials = error_propagation_trials(800, c, q, trials=20, rng=rng)
+        mean_error = float(np.mean([t.total_error for t in trials]))
+        rows.append((f"{multiple} x 1/(q(q-1))", round(c, 3), mean_error))
+    print(format_table(["density", "c", "mean total error"], rows))
+    print(f"(peeling itself only fails past c*_3 = {molloy_threshold(3):.3f}, "
+          "but error control needs the stricter tree/unicyclic regime)\n")
+
+
+def branching_demo() -> None:
+    print("--- why: survival of the idealized branching process ---")
+    q = 3
+    below = survival_recurrence(0.8 * riblt_sparsity_threshold(q), q, 8)
+    rows = [(t + 1, f"{value:.3g}") for t, value in enumerate(below.lam)]
+    print(format_table(["round t", "lambda_t (root survives)"], rows))
+    print("doubly-exponential decay beats the 2^t neighbourhood growth —")
+    print("that race is the whole proof of Lemma 3.10.")
+
+
+if __name__ == "__main__":
+    riblt_demo()
+    phase_transition_demo()
+    branching_demo()

@@ -1,0 +1,80 @@
+"""Reconciling image-fingerprint databases (Hamming EMD model).
+
+Section 1's database scenario: two mirrors hold perceptual hashes of the
+same image collection, but each mirror re-compressed its images, so
+fingerprints of the same image differ in a few bits.  A handful of images
+exist on only one mirror.  Algorithm 1 lets mirror B approximate mirror
+A's fingerprint set in one message, and we compare against the quadtree
+baseline's natural habitat (it needs a grid, so Hamming data is exactly
+where the LSH approach is the only game in town).
+
+Run:  python examples/image_fingerprint_sync.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EMDProtocol,
+    HammingSpace,
+    PublicCoins,
+    emd,
+    emd_k,
+    exact_iblt_reconcile,
+    noisy_replica_pair,
+)
+
+
+def main() -> None:
+    d = 128  # 128-bit perceptual hashes
+    n, k = 48, 3
+    space = HammingSpace(d)
+    rng = np.random.default_rng(1234)
+
+    # Re-compression flips up to 2 bits of each shared image's hash; k
+    # images are unique to mirror A.
+    workload = noisy_replica_pair(
+        space, n=n, k=k, close_radius=2, far_radius=40, rng=rng
+    )
+    before = emd(space, workload.alice, workload.bob)
+    reference = emd_k(space, workload.alice, workload.bob, k)
+    print(f"{n} fingerprints of {d} bits; {k} unique to mirror A")
+    print(f"EMD before: {before:.0f}   EMD_k reference: {reference:.0f}")
+
+    # --- exact reconciliation treats noisy twins as distinct: useless ----
+    exact = exact_iblt_reconcile(
+        space, workload.alice, workload.bob, delta_bound=2 * k,
+        coins=PublicCoins(5),
+    )
+    print("\nclassic exact set reconciliation sized for the k true differences:")
+    print(f"  success={exact.success} — noisy twins inflate the symmetric "
+          "difference past any o(n) budget, exactly the failure mode robust "
+          "reconciliation fixes")
+
+    # --- the robust protocol ---------------------------------------------
+    protocol = EMDProtocol.for_instance(space, n=n, k=k)
+    result = protocol.run(workload.alice, workload.bob, PublicCoins(5))
+    if not result.success:
+        print("protocol failure (<= 1/8 probability); rerun with other coins")
+        return
+    after = emd(space, workload.alice, result.bob_final)
+    print(f"\nrobust EMD protocol: one message, {result.total_bits} bits")
+    print(f"  EMD after: {after:.0f}  "
+          f"(= {after / max(reference, 1):.1f}x EMD_k; paper promises O(log n)x)")
+
+    # The EMD model recovers *approximations*: decoded values can carry
+    # averaged noise from colliding buckets (Section 2.2 item 5).
+    final = result.bob_final
+    gaps = [
+        min(space.distance(outlier, point) for point in final)
+        for outlier in workload.alice_far_points
+    ]
+    print(f"  mirror-A-only fingerprints now represented at Hamming "
+          f"distances {sorted(int(g) for g in gaps)} (were >= 40 before)")
+    print("\n(the quadtree baseline of Chen et al. [7] needs a [Delta]^d grid —")
+    print(" on Hamming data its O(d) approximation would be vacuous: d = diameter)")
+
+
+if __name__ == "__main__":
+    main()

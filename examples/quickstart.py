@@ -1,0 +1,66 @@
+"""Quickstart: robust set reconciliation in the EMD model.
+
+Alice and Bob hold noisy replicas of the same 64-bit fingerprints, except
+for two genuinely new items on Alice's side.  One message from Alice lets
+Bob repair his set so it is close to hers in earth mover's distance —
+with communication that does not grow with n (Corollary 3.5).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EMDProtocol,
+    HammingSpace,
+    PublicCoins,
+    emd,
+    emd_k,
+    naive_full_transfer,
+    noisy_replica_pair,
+)
+
+
+def main() -> None:
+    n, k, d = 32, 2, 64
+    space = HammingSpace(d)
+    rng = np.random.default_rng(2019)
+
+    # Bob holds a base set; Alice holds a noisy replica (each point moved
+    # by at most 1 bit) plus k brand-new far points.
+    workload = noisy_replica_pair(
+        space, n=n, k=k, close_radius=1, far_radius=20, rng=rng
+    )
+
+    print(f"instance: n={n} points in {{0,1}}^{d}, k={k} outliers")
+    print(f"EMD(S_A, S_B) before reconciliation: {emd(space, workload.alice, workload.bob):.0f}")
+    print(f"EMD_k(S_A, S_B) (best achievable reference): "
+          f"{emd_k(space, workload.alice, workload.bob, k):.0f}")
+
+    # The protocol needs only public inputs: the space, n, and k.  Both
+    # parties derive everything else from shared coins.
+    protocol = EMDProtocol.for_instance(space, n=n, k=k)
+    coins = PublicCoins(42)
+    result = protocol.run(workload.alice, workload.bob, coins)
+
+    if not result.success:
+        print("protocol reported failure (probability <= 1/8); rerun with new coins")
+        return
+
+    after = emd(space, workload.alice, result.bob_final)
+    print(f"\none round, {result.total_bits} bits "
+          f"({result.total_bits / 8 / 1024:.1f} KiB) from Alice to Bob")
+    print(f"decoded at resolution level {result.decoded_level} "
+          f"({result.decoded_pairs} pairs recovered)")
+    print(f"EMD(S_A, S'_B) after reconciliation: {after:.0f}")
+
+    naive = naive_full_transfer(space, workload.alice)
+    print(f"\nnaive full transfer would use {naive.total_bits} bits and achieve EMD 0;")
+    print("the protocol's bits are independent of n — rerun with n=1024 to see")
+    print("the naive cost grow while the protocol's stays put.")
+
+
+if __name__ == "__main__":
+    main()

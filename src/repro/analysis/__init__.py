@@ -1,0 +1,15 @@
+"""Experiment-running helpers: statistics and table rendering."""
+
+from .stats import Summary, run_trials, success_rate, summarize, wilson_interval
+from .tables import format_cell, format_table, print_table
+
+__all__ = [
+    "Summary",
+    "run_trials",
+    "success_rate",
+    "summarize",
+    "wilson_interval",
+    "format_cell",
+    "format_table",
+    "print_table",
+]

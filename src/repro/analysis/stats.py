@@ -1,0 +1,91 @@
+"""Statistics helpers shared by the experiment harness.
+
+Small, dependency-light utilities: summary statistics with normal-
+approximation confidence intervals, success-rate estimation with Wilson
+intervals, and a generic multi-trial runner used by the benchmarks so
+every experiment reports means over independent seeds rather than single
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["Summary", "summarize", "success_rate", "wilson_interval", "run_trials"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        if self.count <= 1:
+            return (self.mean, self.mean)
+        half = z * self.std / math.sqrt(self.count)
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.mean:.3g} ± {self.std:.2g} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def success_rate(outcomes: Sequence[bool]) -> tuple[float, tuple[float, float]]:
+    """Empirical rate plus its Wilson interval."""
+    if not outcomes:
+        raise ValueError("cannot compute a rate over no outcomes")
+    successes = sum(1 for outcome in outcomes if outcome)
+    return successes / len(outcomes), wilson_interval(successes, len(outcomes))
+
+
+def run_trials(trial: Callable[[int], T], trials: int, seed0: int = 0) -> list[T]:
+    """Run ``trial(seed)`` for ``trials`` distinct seeds and collect results."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    return [trial(seed0 + index) for index in range(trials)]

@@ -1,0 +1,29 @@
+"""Branching-process analysis tools (Appendices B and D)."""
+
+from .error_propagation import (
+    ErrorPropagationResult,
+    error_propagation_trials,
+    propagate_error,
+)
+from .poisson import (
+    SurvivalCurve,
+    branching_factor,
+    expected_unconditioned_size,
+    poisson_tail,
+    simulate_survival,
+    simulate_tree_size,
+    survival_recurrence,
+)
+
+__all__ = [
+    "ErrorPropagationResult",
+    "error_propagation_trials",
+    "propagate_error",
+    "SurvivalCurve",
+    "branching_factor",
+    "expected_unconditioned_size",
+    "poisson_tail",
+    "simulate_survival",
+    "simulate_tree_size",
+    "survival_recurrence",
+]

@@ -1,0 +1,141 @@
+"""Multi-party robust reconciliation (extension; cf. [23]).
+
+The paper's related work cites simple multi-party set reconciliation
+(Mitzenmacher & Pagh [23]).  This module lifts the *robust* Gap
+Guarantee model to ``P >= 2`` parties with the natural star
+construction the two-party protocol invites:
+
+1. a coordinator is chosen (party 0);
+2. every other party runs the two-party Gap protocol *toward* the
+   coordinator (the coordinator plays Bob), so the coordinator ends
+   with a set within ``r2`` of every point any party holds;
+3. the coordinator runs the protocol once *back* toward each party
+   (the party plays Bob), delivering everything they miss.
+
+Every pairwise run reuses the measured channel, so the reported
+communication is the true total over all ``2(P-1)`` protocol
+executions.  The resulting guarantee: every input point of every party
+is within ``2·r2`` of every party's final set (one ``r2`` hop into the
+coordinator's set, one hop out — the triangle inequality; the
+coordinator itself enjoys plain ``r2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hashing import PublicCoins
+from ..metric.spaces import MetricSpace, Point
+from ..protocol.channel import Channel
+from .gap_protocol import GapProtocol, verify_gap_guarantee
+
+__all__ = ["MultiPartyGapResult", "multi_party_gap"]
+
+
+@dataclass(frozen=True)
+class MultiPartyGapResult:
+    """Outcome of the star-topology multi-party reconciliation."""
+
+    success: bool
+    final_sets: list[list[Point]]
+    coordinator: int
+    total_bits: int
+    protocol_runs: int
+
+    def party_final(self, party: int) -> list[Point]:
+        return self.final_sets[party]
+
+
+def multi_party_gap(
+    protocol: GapProtocol,
+    party_sets: Sequence[Sequence[Point]],
+    coins: PublicCoins,
+    coordinator: int = 0,
+    channel: Channel | None = None,
+) -> MultiPartyGapResult:
+    """Reconcile ``P`` parties' point sets through a coordinator.
+
+    Parameters
+    ----------
+    protocol:
+        A configured two-party :class:`GapProtocol`; its ``n`` should be
+        sized for the largest party set (it is only used for sketch
+        sizing, so a generous value is safe).
+    party_sets:
+        One point sequence per party.
+    coordinator:
+        Index of the hub party.
+
+    Notes
+    -----
+    Inbound phase: party ``i``'s points that are far from the (growing)
+    coordinator set get shipped in; outbound phase: each party receives
+    the coordinator points far from *their* set.  Each phase is a
+    faithful two-party protocol run over the shared channel.
+    """
+    parties = [list(points) for points in party_sets]
+    if len(parties) < 2:
+        raise ValueError(f"need at least 2 parties, got {len(parties)}")
+    if not 0 <= coordinator < len(parties):
+        raise ValueError(f"coordinator index {coordinator} out of range")
+    channel = channel if channel is not None else Channel()
+
+    hub = list(parties[coordinator])
+    runs = 0
+    all_success = True
+
+    # ---- inbound: everyone -> coordinator --------------------------------
+    for index, points in enumerate(parties):
+        if index == coordinator:
+            continue
+        result = protocol.run(points, hub, coins.child("in", index), channel)
+        runs += 1
+        if not result.success:
+            all_success = False
+            continue
+        hub = result.bob_final
+
+    # ---- outbound: coordinator -> everyone --------------------------------
+    finals = [list(points) for points in parties]
+    finals[coordinator] = hub
+    for index, points in enumerate(parties):
+        if index == coordinator:
+            continue
+        result = protocol.run(hub, points, coins.child("out", index), channel)
+        runs += 1
+        if not result.success:
+            all_success = False
+            continue
+        finals[index] = result.bob_final
+
+    return MultiPartyGapResult(
+        success=all_success,
+        final_sets=finals,
+        coordinator=coordinator,
+        total_bits=channel.total_bits,
+        protocol_runs=runs,
+    )
+
+
+def verify_multi_party_guarantee(
+    space: MetricSpace,
+    party_sets: Sequence[Sequence[Point]],
+    result: MultiPartyGapResult,
+    r2: float,
+) -> bool:
+    """Check the multi-party postcondition.
+
+    Every input point of every party must be within ``r2`` of the
+    coordinator's final set and within ``2·r2`` of every party's final
+    set.
+    """
+    hub_final = result.final_sets[result.coordinator]
+    for points in party_sets:
+        if not verify_gap_guarantee(space, list(points), hub_final, r2):
+            return False
+    for final in result.final_sets:
+        for points in party_sets:
+            if not verify_gap_guarantee(space, list(points), final, 2.0 * r2):
+                return False
+    return True

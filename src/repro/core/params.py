@@ -1,0 +1,174 @@
+"""Parameter derivation for Algorithm 1 (the EMD protocol).
+
+Algorithm 1's inputs (Section 3):
+
+* ``D1 <= EMD_k(S_A, S_B) <= D2`` — prior bounds on the excluded earth
+  mover's distance (absent prior knowledge, ``D1 = 1`` and
+  ``D2 = n·d·Δ`` for ``ℓ1``; footnote before Theorem 3.4).
+* ``M > max f(a, b)`` — a bound on the diameter of the data.
+* an MLSH family with ``r >= min(M, D2)`` and ``p >= e^{-k/(24·D2)}``
+  (footnote 4: ``p`` is raised by *widening* the family, e.g. bit
+  sampling with ``w = 48·D2/k``).
+
+From these the protocol derives:
+
+* ``t = log2(D2/D1) + 1`` resolution levels;
+* level ``i`` keys hash the first
+  ``c_i = 2^{i-1}·s·D1/D2 = 2^{i-4}·k/(D2·ln(1/p))`` MLSH values
+  (``s = k/(8·D1·ln(1/p))``), so at the exact ``p`` bound ``c_1 = 3``
+  and counts double per level — Equation (1)'s
+  ``2^{i'-4}k/(D2 ln(1/p)) >= 3`` invariant;
+* each RIBLT has ``m = 4·q²·k`` cells and accepts decodes of at most
+  ``4k`` pairs, keeping the load under ``1/(q(q-1))``.
+
+:func:`derive_emd_parameters` performs this derivation for the three
+supported spaces, constructing the appropriately widened MLSH family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..lsh.base import MLSHFamily
+from ..lsh.bit_sampling import BitSamplingMLSH
+from ..lsh.grid import GridMLSH
+from ..lsh.keys import key_bits_for
+from ..lsh.pstable import PStableMLSH
+from ..metric.spaces import GridSpace, HammingSpace, MetricSpace
+
+__all__ = ["EMDParameters", "derive_emd_parameters", "default_distance_bounds"]
+
+
+def default_distance_bounds(space: MetricSpace, n: int) -> tuple[float, float, float]:
+    """The no-prior-knowledge ``(D1, D2, M)`` of Section 3.
+
+    ``D1 = 1``, ``D2 = n · diameter``, ``M = diameter``.
+    """
+    return 1.0, float(n) * space.diameter, space.diameter
+
+
+@dataclass(frozen=True)
+class EMDParameters:
+    """Everything Algorithm 1 needs, shared by both parties."""
+
+    family: MLSHFamily
+    n: int
+    k: int
+    d1: float
+    d2: float
+    m_bound: float
+    levels: int
+    hash_counts: tuple[int, ...]
+    cells: int
+    q: int
+    key_bits: int
+
+    @property
+    def total_hashes(self) -> int:
+        """``c_t`` — MLSH functions evaluated per point."""
+        return self.hash_counts[-1]
+
+    @property
+    def accept_pairs(self) -> int:
+        """Decode acceptance cap: ``4k`` pairs (Algorithm 1)."""
+        return 4 * self.k
+
+
+def _mlsh_width_for(
+    space: MetricSpace, k: int, d2: float, m_bound: float
+) -> tuple[MLSHFamily, float]:
+    """Build the widened MLSH family meeting both footnote-4 constraints.
+
+    ``p >= e^{-k/(24 D2)}`` requires width ``w >= beta·D2/k`` where
+    ``beta`` is 48 for the exponent-2 families and ``48·sqrt(2/π)`` for
+    p-stable; ``r >= min(M, D2)`` requires ``w >= min(M, D2)/r_factor``.
+    """
+    target_r = min(m_bound, d2)
+    if isinstance(space, HammingSpace):
+        w = max(float(space.dim), 48.0 * d2 / k, target_r / 0.79)
+        return BitSamplingMLSH(space, w=w), w
+    if isinstance(space, GridSpace) and space.p == 1.0:
+        w = max(48.0 * d2 / k, target_r / 0.79)
+        return GridMLSH(space, w=w), w
+    if isinstance(space, GridSpace) and space.p == 2.0:
+        w = max(48.0 * math.sqrt(2.0 / math.pi) * d2 / k, target_r / 0.99)
+        return PStableMLSH(space, w=w), w
+    raise TypeError(f"no MLSH family known for {space!r}")
+
+
+def derive_emd_parameters(
+    space: MetricSpace,
+    n: int,
+    k: int,
+    d1: float | None = None,
+    d2: float | None = None,
+    m_bound: float | None = None,
+    q: int = 3,
+    max_total_hashes: int | None = None,
+) -> EMDParameters:
+    """Derive Algorithm 1's shared parameters.
+
+    Parameters
+    ----------
+    space, n, k:
+        The instance: ``|S_A| = |S_B| = n``, outlier budget ``k``.
+    d1, d2, m_bound:
+        Optional prior knowledge (defaults to Section 3's trivial
+        bounds).  Tighter bounds mean fewer levels and fewer hash
+        evaluations — Corollaries 3.5/3.6 exploit this by interval
+        subdivision.
+    q:
+        RIBLT hash count (>= 3).
+    max_total_hashes:
+        Optional computational cap on ``c_t``; when hit, the finest
+        levels share the cap (communication is unaffected; resolution of
+        the finest levels degrades, which only matters when
+        ``EMD_k`` is tiny relative to ``D2``).
+
+    Raises
+    ------
+    ValueError
+        On infeasible inputs (``k < 1``, ``D1 > D2``...).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    default_d1, default_d2, default_m = default_distance_bounds(space, n)
+    d1 = default_d1 if d1 is None else float(d1)
+    d2 = default_d2 if d2 is None else float(d2)
+    m_bound = default_m if m_bound is None else float(m_bound)
+    if not 0 < d1 <= d2:
+        raise ValueError(f"need 0 < D1 <= D2, got D1={d1}, D2={d2}")
+
+    family, _ = _mlsh_width_for(space, k, d2, m_bound)
+    levels = max(1, math.floor(math.log2(d2 / d1)) + 1)
+
+    # c_i = 2^{i-1} * k / (8 * D2 * ln(1/p)); at the exact p bound this is
+    # 3 * 2^{i-1}.
+    log_inverse_p = -math.log(family.p)
+    base = k / (8.0 * d2 * log_inverse_p)
+    hash_counts: list[int] = []
+    for level in range(1, levels + 1):
+        count = max(1, round(2 ** (level - 1) * base))
+        if hash_counts:
+            count = max(count, hash_counts[-1])
+        if max_total_hashes is not None:
+            count = min(count, max_total_hashes)
+        hash_counts.append(count)
+
+    cells = 4 * q * q * k
+    return EMDParameters(
+        family=family,
+        n=n,
+        k=k,
+        d1=d1,
+        d2=d2,
+        m_bound=m_bound,
+        levels=levels,
+        hash_counts=tuple(hash_counts),
+        cells=cells,
+        q=q,
+        key_bits=key_bits_for(n),
+    )

@@ -1,0 +1,207 @@
+"""Two-way reconciliation and reliability wrappers.
+
+Section 1 ("One-way reconciliation") observes that both models extend to
+two-way variants by running the protocol once in each direction — the
+parties will generally *not* end with identical sets, which is inherent
+to robust reconciliation.  These wrappers implement that construction,
+plus the standard success-probability amplification the paper's
+constant-probability guarantees invite: rerun with fresh public coins
+until success, boosting ``1 - 1/8``-style bounds to ``1 - δ`` at an
+expected constant-factor cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hashing import PublicCoins
+from ..metric.spaces import MetricSpace, Point
+from ..protocol.channel import Channel
+from .emd_protocol import EMDProtocol, EMDResult
+from .gap_protocol import GapProtocol, GapResult
+
+__all__ = [
+    "TwoWayEMDResult",
+    "two_way_emd",
+    "TwoWayGapResult",
+    "two_way_gap",
+    "run_emd_with_retries",
+    "run_gap_with_retries",
+    "retries_for_confidence",
+]
+
+
+def retries_for_confidence(single_failure: float, delta: float) -> int:
+    """Attempts needed so overall failure ``single_failure^t <= delta``."""
+    if not 0 < single_failure < 1:
+        raise ValueError(f"single_failure must be in (0,1), got {single_failure}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    return max(1, math.ceil(math.log(delta) / math.log(single_failure)))
+
+
+# ---------------------------------------------------------------------------
+# Retry wrappers
+# ---------------------------------------------------------------------------
+
+def run_emd_with_retries(
+    protocol: EMDProtocol,
+    alice_points: Sequence[Point],
+    bob_points: Sequence[Point],
+    coins: PublicCoins,
+    attempts: int = 4,
+    channel: Channel | None = None,
+    matcher: str = "hungarian",
+) -> EMDResult:
+    """Re-run Algorithm 1 with fresh coins until it stops reporting failure.
+
+    Theorem 3.4's failure probability is at most 1/8 per run (when
+    ``EMD_k <= D2``), so ``attempts = 4`` already gives ``< 0.03%``.
+    All attempts' communication accumulates on the shared channel (each
+    retry is a real extra round in practice).
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    channel = channel if channel is not None else Channel()
+    result: EMDResult | None = None
+    for attempt in range(attempts):
+        result = protocol.run(
+            alice_points,
+            bob_points,
+            coins.child("emd-retry", attempt),
+            channel,
+            matcher=matcher,
+        )
+        if result.success:
+            break
+    assert result is not None
+    return EMDResult(
+        success=result.success,
+        bob_final=result.bob_final,
+        decoded_level=result.decoded_level,
+        decoded_pairs=result.decoded_pairs,
+        total_bits=channel.total_bits,
+        rounds=channel.rounds,
+    )
+
+
+def run_gap_with_retries(
+    protocol: GapProtocol,
+    alice_points: Sequence[Point],
+    bob_points: Sequence[Point],
+    coins: PublicCoins,
+    attempts: int = 3,
+    channel: Channel | None = None,
+) -> GapResult:
+    """Re-run the Gap protocol with fresh coins on sketch-decode failure."""
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    channel = channel if channel is not None else Channel()
+    result: GapResult | None = None
+    for attempt in range(attempts):
+        result = protocol.run(
+            alice_points, bob_points, coins.child("gap-retry", attempt), channel
+        )
+        if result.success:
+            break
+    assert result is not None
+    return GapResult(
+        success=result.success,
+        bob_final=result.bob_final,
+        transmitted=result.transmitted,
+        sos_unresolved=result.sos_unresolved,
+        pair_difference=result.pair_difference,
+        total_bits=channel.total_bits,
+        rounds=channel.rounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-way variants
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TwoWayEMDResult:
+    """Both directions of the EMD protocol.
+
+    ``alice_final`` approximates Bob's original set and vice versa; per
+    Section 1 the two final sets need not coincide.
+    """
+
+    success: bool
+    alice_final: list[Point]
+    bob_final: list[Point]
+    total_bits: int
+    rounds: int
+
+
+def two_way_emd(
+    protocol: EMDProtocol,
+    alice_points: Sequence[Point],
+    bob_points: Sequence[Point],
+    coins: PublicCoins,
+    channel: Channel | None = None,
+    attempts: int = 4,
+) -> TwoWayEMDResult:
+    """Run Algorithm 1 in both directions over one channel."""
+    channel = channel if channel is not None else Channel()
+    forward = run_emd_with_retries(
+        protocol, alice_points, bob_points, coins.child("fwd"),
+        attempts=attempts, channel=channel,
+    )
+    backward = run_emd_with_retries(
+        protocol, bob_points, alice_points, coins.child("bwd"),
+        attempts=attempts, channel=channel,
+    )
+    return TwoWayEMDResult(
+        success=forward.success and backward.success,
+        alice_final=backward.bob_final,
+        bob_final=forward.bob_final,
+        total_bits=channel.total_bits,
+        rounds=channel.rounds,
+    )
+
+
+@dataclass(frozen=True)
+class TwoWayGapResult:
+    """Both directions of the Gap protocol.
+
+    After the exchange, every point of ``S_A ∪ S_B`` is within ``r2`` of
+    *both* parties' final sets (each direction's guarantee covers one
+    side's additions; own points cover the rest).
+    """
+
+    success: bool
+    alice_final: list[Point]
+    bob_final: list[Point]
+    total_bits: int
+    rounds: int
+
+
+def two_way_gap(
+    protocol: GapProtocol,
+    alice_points: Sequence[Point],
+    bob_points: Sequence[Point],
+    coins: PublicCoins,
+    channel: Channel | None = None,
+    attempts: int = 3,
+) -> TwoWayGapResult:
+    """Run the Gap protocol in both directions over one channel."""
+    channel = channel if channel is not None else Channel()
+    forward = run_gap_with_retries(
+        protocol, alice_points, bob_points, coins.child("fwd"),
+        attempts=attempts, channel=channel,
+    )
+    backward = run_gap_with_retries(
+        protocol, bob_points, alice_points, coins.child("bwd"),
+        attempts=attempts, channel=channel,
+    )
+    return TwoWayGapResult(
+        success=forward.success and backward.success,
+        alice_final=backward.bob_final,
+        bob_final=forward.bob_final,
+        total_bits=channel.total_bits,
+        rounds=channel.rounds,
+    )

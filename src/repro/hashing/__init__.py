@@ -1,0 +1,27 @@
+"""Hashing substrate: public coins and pairwise-independent hashing.
+
+See :mod:`repro.hashing.random_source` for the public-coin model and
+:mod:`repro.hashing.universal` for the hash families used throughout the
+protocols.
+"""
+
+from .random_source import PublicCoins, derive_seed
+from .universal import (
+    MERSENNE_P,
+    Checksum,
+    PairwiseHash,
+    PrefixHasher,
+    VectorHash,
+    fold_to_bits,
+)
+
+__all__ = [
+    "PublicCoins",
+    "derive_seed",
+    "MERSENNE_P",
+    "Checksum",
+    "PairwiseHash",
+    "PrefixHasher",
+    "VectorHash",
+    "fold_to_bits",
+]

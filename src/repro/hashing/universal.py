@@ -1,0 +1,214 @@
+"""Universal (pairwise-independent) hashing over a Mersenne-prime field.
+
+The paper's constructions use pairwise-independent hash functions in three
+places:
+
+* Algorithm 1 compresses a tuple of MLSH values into a ``Θ(log n)``-bit
+  *key* with a pairwise-independent hash ``h`` (so distinct MLSH vectors
+  collide with probability ``1/poly(n)``).
+* the Gap protocol hashes each *batch* of ``m`` LSH values down to
+  ``O(log n)`` bits (Section 4.1).
+* IBLT/RIBLT cells carry a *checksum* of each key so that impure cells are
+  detected during peeling (Section 2.2).
+
+All of these are provided here.  We work over the Mersenne prime
+``P = 2^61 - 1``, which supports exact modular arithmetic with Python ints
+and fast reduction, and we expose a *prefix-evaluable* polynomial hash
+(:class:`PrefixHasher`) so Algorithm 1 can derive the key for resolution
+level ``i`` (a hash of the first ``c_i`` MLSH values) in O(1) additional
+work per level instead of rehashing the whole growing prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .random_source import PublicCoins
+
+__all__ = [
+    "MERSENNE_P",
+    "PairwiseHash",
+    "VectorHash",
+    "PrefixHasher",
+    "Checksum",
+    "fold_to_bits",
+]
+
+#: The Mersenne prime 2^61 - 1 used as the field size for all hashes.
+MERSENNE_P = (1 << 61) - 1
+
+
+def _mod_p(x: int) -> int:
+    """Reduce ``x`` modulo the Mersenne prime ``2^61 - 1``."""
+    return x % MERSENNE_P
+
+
+def fold_to_bits(value: int, bits: int) -> int:
+    """Fold a field element down to ``bits`` bits (for key truncation)."""
+    if bits >= 61:
+        return value
+    return value & ((1 << bits) - 1)
+
+
+class PairwiseHash:
+    """A pairwise-independent hash ``x -> (a*x + b) mod P`` folded to ``bits``.
+
+    Drawn from the classic Carter–Wegman family, which is pairwise
+    independent over the field of size :data:`MERSENNE_P`.  Inputs may be
+    arbitrary (possibly negative or > P) integers; they are reduced into the
+    field first.
+
+    Parameters
+    ----------
+    coins:
+        Shared randomness; both parties derive the same ``(a, b)``.
+    label:
+        Stream label distinguishing this hash from others.
+    bits:
+        Output width in bits (<= 61).
+    """
+
+    def __init__(self, coins: PublicCoins, label: object, bits: int = 61):
+        if not 1 <= bits <= 61:
+            raise ValueError(f"bits must be in [1, 61], got {bits}")
+        rng = coins.python_rng("pairwise", label)
+        self.a = rng.randrange(1, MERSENNE_P)
+        self.b = rng.randrange(0, MERSENNE_P)
+        self.bits = bits
+
+    def __call__(self, x: int) -> int:
+        return fold_to_bits(_mod_p(self.a * _mod_p(x) + self.b), self.bits)
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation on an int64 array (exact, via object math).
+
+        numpy cannot hold 61-bit products exactly in int64, so we route
+        through Python-int object arrays; this is still markedly faster than
+        a Python-level loop for large inputs because the modular arithmetic
+        is done in bulk.
+        """
+        objs = xs.astype(object)
+        out = (self.a * (objs % MERSENNE_P) + self.b) % MERSENNE_P
+        if self.bits < 61:
+            out = out & ((1 << self.bits) - 1)
+        return out
+
+
+class VectorHash:
+    """Hash a fixed-length tuple of field elements to ``bits`` bits.
+
+    Implements ``h(x_1..x_k) = (b + sum_i a_i * x_i) mod P`` with independent
+    ``a_i``, which is pairwise independent over tuples.  Used by the Gap
+    protocol to compress a batch of ``m`` LSH values into one key entry.
+    """
+
+    def __init__(self, coins: PublicCoins, label: object, arity: int, bits: int = 61):
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        rng = coins.python_rng("vector", label)
+        self.coeffs = [rng.randrange(1, MERSENNE_P) for _ in range(arity)]
+        self.b = rng.randrange(0, MERSENNE_P)
+        self.arity = arity
+        self.bits = bits
+
+    def __call__(self, xs: Sequence[int]) -> int:
+        if len(xs) != self.arity:
+            raise ValueError(f"expected {self.arity} inputs, got {len(xs)}")
+        acc = self.b
+        for coeff, x in zip(self.coeffs, xs):
+            acc += coeff * _mod_p(int(x))
+        return fold_to_bits(_mod_p(acc), self.bits)
+
+    def hash_matrix(self, matrix: np.ndarray) -> list[int]:
+        """Hash each row of an ``(n, arity)`` integer matrix."""
+        if matrix.ndim != 2 or matrix.shape[1] != self.arity:
+            raise ValueError(f"expected shape (n, {self.arity}), got {matrix.shape}")
+        return [self(row) for row in matrix.tolist()]
+
+
+class PrefixHasher:
+    """Polynomial rolling hash supporting incremental prefix evaluation.
+
+    ``state_0 = b``; ``state_j = (state_{j-1} * r + x_j) mod P``.  The hash
+    of the length-``j`` prefix is ``state_j`` folded to ``bits`` bits.
+
+    Algorithm 1 keys level ``i`` by a hash of the first ``c_i`` MLSH values
+    of a point, with ``c_1 < c_2 < ... < c_t``.  Rather than hashing each
+    prefix from scratch (quadratic), callers feed values once via
+    :meth:`extend` and snapshot the state at each required prefix length,
+    which is linear in ``c_t``.
+
+    The family is universal for unequal-length or differing prefixes up to
+    collision probability ``len/P`` — comfortably ``1/poly(n)`` for the
+    ``Θ(log n)``-bit keys the protocol requires.
+    """
+
+    def __init__(self, coins: PublicCoins, label: object, bits: int = 61):
+        rng = coins.python_rng("prefix", label)
+        self.r = rng.randrange(2, MERSENNE_P)
+        self.b = rng.randrange(0, MERSENNE_P)
+        self.bits = bits
+
+    def initial_state(self) -> int:
+        """The state corresponding to the empty prefix."""
+        return self.b
+
+    def extend(self, state: int, value: int) -> int:
+        """Absorb one more value into the rolling state."""
+        return _mod_p(state * self.r + _mod_p(int(value)))
+
+    def extend_many(self, state: int, values: Iterable[int]) -> int:
+        """Absorb a sequence of values into the rolling state."""
+        for value in values:
+            state = self.extend(state, value)
+        return state
+
+    def digest(self, state: int) -> int:
+        """Fold a rolling state into the output key width."""
+        return fold_to_bits(state, self.bits)
+
+    def hash_prefix(self, values: Sequence[int], length: int) -> int:
+        """Hash the first ``length`` entries of ``values`` from scratch."""
+        if length > len(values):
+            raise ValueError(f"prefix length {length} exceeds {len(values)} values")
+        return self.digest(self.extend_many(self.initial_state(), values[:length]))
+
+    def prefix_digests(self, values: Sequence[int], lengths: Sequence[int]) -> list[int]:
+        """Digests for several (sorted, increasing) prefix lengths in one pass."""
+        digests: list[int] = []
+        state = self.initial_state()
+        consumed = 0
+        for length in lengths:
+            if length < consumed:
+                raise ValueError("prefix lengths must be non-decreasing")
+            if length > len(values):
+                raise ValueError(f"prefix length {length} exceeds {len(values)} values")
+            state = self.extend_many(state, values[consumed:length])
+            consumed = length
+            digests.append(self.digest(state))
+        return digests
+
+
+class Checksum:
+    """Key checksum for IBLT/RIBLT cells.
+
+    A cell is recognised as *pure* when its key-sum is consistent with its
+    checksum-sum (Section 2.2, item 5).  The checksum must be a deterministic
+    function of the key such that distinct keys rarely agree; we use an
+    independent Carter–Wegman hash with a quadratic term, which also breaks
+    the linearity that would otherwise make sums of keys fool the test
+    (``checksum(k1) + checksum(k2) = checksum(k1 + k2)`` must *not* hold).
+    """
+
+    def __init__(self, coins: PublicCoins, label: object, bits: int = 61):
+        rng = coins.python_rng("checksum", label)
+        self.a1 = rng.randrange(1, MERSENNE_P)
+        self.a2 = rng.randrange(1, MERSENNE_P)
+        self.b = rng.randrange(0, MERSENNE_P)
+        self.bits = bits
+
+    def __call__(self, key: int) -> int:
+        x = _mod_p(int(key))
+        return fold_to_bits(_mod_p(self.a2 * x * x + self.a1 * x + self.b), self.bits)

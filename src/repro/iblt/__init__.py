@@ -1,0 +1,36 @@
+"""Invertible Bloom lookup tables: classic IBLT, robust RIBLT, hypergraphs."""
+
+from .hypergraph import (
+    Component,
+    classify_component,
+    component_census,
+    components,
+    molloy_threshold,
+    peel_order,
+    random_hypergraph,
+    riblt_sparsity_threshold,
+    two_core,
+)
+from .counting import MultisetDecodeResult, MultisetIBLT
+from .iblt import IBLT, IBLTDecodeResult, cells_for_differences
+from .riblt import RIBLT, RIBLTDecodeResult, riblt_cells_for_pairs
+
+__all__ = [
+    "Component",
+    "classify_component",
+    "component_census",
+    "components",
+    "molloy_threshold",
+    "peel_order",
+    "random_hypergraph",
+    "riblt_sparsity_threshold",
+    "two_core",
+    "MultisetDecodeResult",
+    "MultisetIBLT",
+    "IBLT",
+    "IBLTDecodeResult",
+    "cells_for_differences",
+    "RIBLT",
+    "RIBLTDecodeResult",
+    "riblt_cells_for_pairs",
+]

@@ -1,0 +1,199 @@
+"""Counting (multiset) IBLT: sum-based cells without values.
+
+The sets-of-sets reconciliation behind the Gap protocol needs to reconcile
+*multisets* of key entries: the same (vector-index, hash-value) pair can
+occur in many keys, and cancellation must respect multiplicity.  XOR-based
+IBLTs cannot represent multiplicity, so this table uses the RIBLT's
+sum-cell idea (Section 2.2 items 3 and 5) restricted to keys: a cell with
+count ``C`` whose key sum is ``C`` times a single key -- verified via the
+checksum -- peels all ``C`` copies at once.
+
+Decoding returns *signed multiplicities*: positive for net insertions,
+negative for net deletions, which is exactly the view a subtracted table
+of two multisets gives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..hashing import Checksum, PairwiseHash, PublicCoins
+
+__all__ = ["MultisetIBLT", "MultisetDecodeResult"]
+
+
+@dataclass
+class MultisetDecodeResult:
+    """Signed multiplicities recovered from a subtracted multiset table."""
+
+    success: bool
+    #: key -> net signed multiplicity (never zero).
+    multiplicities: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def positive(self) -> dict[int, int]:
+        """Keys with net positive multiplicity (inserting side's surplus)."""
+        return {k: c for k, c in self.multiplicities.items() if c > 0}
+
+    @property
+    def negative(self) -> dict[int, int]:
+        """Keys with net negative multiplicity, as positive counts."""
+        return {k: -c for k, c in self.multiplicities.items() if c < 0}
+
+    @property
+    def total_difference(self) -> int:
+        return sum(abs(c) for c in self.multiplicities.values())
+
+
+class MultisetIBLT:
+    """A sum-cell IBLT over integer keys with multiplicities."""
+
+    def __init__(
+        self,
+        coins: PublicCoins,
+        label: object,
+        cells: int,
+        q: int = 3,
+        key_bits: int = 61,
+    ):
+        if q < 2:
+            raise ValueError(f"q must be >= 2, got {q}")
+        if cells < q:
+            raise ValueError(f"cells must be >= q, got {cells}")
+        self.q = q
+        self.block_size = (cells + q - 1) // q
+        self.m = self.block_size * q
+        self.key_bits = key_bits
+        self.label = label
+        self._cell_hashes = [
+            PairwiseHash(coins, ("mset-cell", label, j), bits=61) for j in range(q)
+        ]
+        self.checksum = Checksum(coins, ("mset-checksum", label), bits=61)
+        self.counts = [0] * self.m
+        self.key_sum = [0] * self.m
+        self.check_sum = [0] * self.m
+
+    def cell_indices(self, key: int) -> list[int]:
+        return [
+            j * self.block_size + self._cell_hashes[j](key) % self.block_size
+            for j in range(self.q)
+        ]
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
+        return key
+
+    def insert(self, key: int, multiplicity: int = 1) -> None:
+        self._update(key, multiplicity)
+
+    def delete(self, key: int, multiplicity: int = 1) -> None:
+        self._update(key, -multiplicity)
+
+    def _update(self, key: int, signed_multiplicity: int) -> None:
+        key = self._check_key(key)
+        if signed_multiplicity == 0:
+            return
+        check = self.checksum(key)
+        for index in self.cell_indices(key):
+            self.counts[index] += signed_multiplicity
+            self.key_sum[index] += signed_multiplicity * key
+            self.check_sum[index] += signed_multiplicity * check
+
+    def insert_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def delete_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.delete(key)
+
+    def subtract(self, other: "MultisetIBLT") -> "MultisetIBLT":
+        self._check_compatible(other)
+        result = self._empty_clone()
+        for index in range(self.m):
+            result.counts[index] = self.counts[index] - other.counts[index]
+            result.key_sum[index] = self.key_sum[index] - other.key_sum[index]
+            result.check_sum[index] = self.check_sum[index] - other.check_sum[index]
+        return result
+
+    def _check_compatible(self, other: "MultisetIBLT") -> None:
+        if (
+            self.m != other.m
+            or self.q != other.q
+            or self.key_bits != other.key_bits
+            or self.label != other.label
+        ):
+            raise ValueError("MultisetIBLTs are structurally incompatible")
+
+    def _empty_clone(self) -> "MultisetIBLT":
+        clone = object.__new__(MultisetIBLT)
+        clone.q = self.q
+        clone.block_size = self.block_size
+        clone.m = self.m
+        clone.key_bits = self.key_bits
+        clone.label = self.label
+        clone._cell_hashes = self._cell_hashes
+        clone.checksum = self.checksum
+        clone.counts = [0] * self.m
+        clone.key_sum = [0] * self.m
+        clone.check_sum = [0] * self.m
+        return clone
+
+    def copy(self) -> "MultisetIBLT":
+        clone = self._empty_clone()
+        clone.counts = list(self.counts)
+        clone.key_sum = list(self.key_sum)
+        clone.check_sum = list(self.check_sum)
+        return clone
+
+    def is_empty(self) -> bool:
+        return all(count == 0 for count in self.counts) and all(
+            key == 0 for key in self.key_sum
+        )
+
+    def _pure_key(self, index: int) -> int | None:
+        count = self.counts[index]
+        if count == 0:
+            return None
+        key_total = self.key_sum[index]
+        if key_total % count != 0:
+            return None
+        key = key_total // count
+        if not 0 <= key < (1 << self.key_bits):
+            return None
+        if self.checksum(key) * count != self.check_sum[index]:
+            return None
+        return key
+
+    def decode(self) -> MultisetDecodeResult:
+        """Breadth-first peel; destructive."""
+        result = MultisetDecodeResult(success=False)
+        queue: deque[int] = deque()
+        enqueued = [False] * self.m
+        for index in range(self.m):
+            if self._pure_key(index) is not None:
+                queue.append(index)
+                enqueued[index] = True
+        while queue:
+            index = queue.popleft()
+            enqueued[index] = False
+            key = self._pure_key(index)
+            if key is None:
+                continue
+            count = self.counts[index]
+            result.multiplicities[key] = result.multiplicities.get(key, 0) + count
+            if result.multiplicities[key] == 0:
+                del result.multiplicities[key]
+            self._update(key, -count)
+            for neighbor in self.cell_indices(key):
+                if not enqueued[neighbor] and self._pure_key(neighbor) is not None:
+                    queue.append(neighbor)
+                    enqueued[neighbor] = True
+        result.success = self.is_empty() and all(
+            check == 0 for check in self.check_sum
+        )
+        return result

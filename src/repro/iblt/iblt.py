@@ -1,0 +1,248 @@
+"""Classic Invertible Bloom Lookup Tables (Goodrich & Mitzenmacher [13]).
+
+An IBLT stores keys in ``m`` cells using ``q`` hash functions; each cell
+keeps a signed count, an XOR of the keys hashed to it, and an XOR of their
+checksums.  Insertions and deletions are symmetric, so the table of
+``S_B`` minus the table of ``S_A`` contains exactly the symmetric
+difference, which a peeling process recovers in ``O(m)`` time whenever the
+number of differences is below ``c·m`` for a constant ``c`` (Theorem 2.6).
+
+This is the standard-set-reconciliation workhorse the paper builds on; the
+robust variant for noisy values lives in :mod:`repro.iblt.riblt`.
+
+The table is *partitioned*: hash function ``j`` maps into the ``j``-th
+block of ``m/q`` cells, guaranteeing the ``q`` cell indices of a key are
+distinct (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..hashing import Checksum, PairwiseHash, PublicCoins
+
+__all__ = ["IBLT", "IBLTDecodeResult", "cells_for_differences"]
+
+#: Conservative cells-per-difference ratio; q=3 peeling succeeds w.h.p.
+#: below load ~0.81, so 2x headroom keeps the failure probability tiny
+#: at the small table sizes experiments use.
+DEFAULT_HEADROOM = 2.0
+
+
+def cells_for_differences(expected_differences: int, q: int = 3, headroom: float = DEFAULT_HEADROOM) -> int:
+    """A table size ``m`` (multiple of ``q``) for an expected difference count."""
+    if expected_differences < 0:
+        raise ValueError("expected_differences must be >= 0")
+    raw = max(q, int(headroom * max(1, expected_differences)) + q)
+    return ((raw + q - 1) // q) * q
+
+
+@dataclass
+class IBLTDecodeResult:
+    """Outcome of peeling an IBLT difference table.
+
+    Attributes
+    ----------
+    success:
+        True iff the table fully emptied (no 2-core remained).
+    inserted:
+        Keys recovered with positive sign (present in the *inserting*
+        party's set only).
+    deleted:
+        Keys recovered with negative sign.
+    """
+
+    success: bool
+    inserted: list[int] = field(default_factory=list)
+    deleted: list[int] = field(default_factory=list)
+
+    @property
+    def difference_count(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+
+class IBLT:
+    """An invertible Bloom lookup table over integer keys.
+
+    Parameters
+    ----------
+    coins, label:
+        Shared randomness: both parties must build structurally identical
+        tables (same cell hashes, same checksum function) to subtract them.
+    cells:
+        Total cell count ``m`` (rounded up to a multiple of ``q``).
+    q:
+        Number of hash functions / blocks.
+    key_bits:
+        Width of stored keys; keys must lie in ``[0, 2^key_bits)``.
+    """
+
+    def __init__(
+        self,
+        coins: PublicCoins,
+        label: object,
+        cells: int,
+        q: int = 3,
+        key_bits: int = 61,
+    ):
+        if q < 2:
+            raise ValueError(f"q must be >= 2, got {q}")
+        if cells < q:
+            raise ValueError(f"cells must be >= q, got {cells}")
+        self.q = q
+        self.block_size = (cells + q - 1) // q
+        self.m = self.block_size * q
+        self.key_bits = key_bits
+        self.label = label
+        self._cell_hashes = [
+            PairwiseHash(coins, ("iblt-cell", label, j), bits=61) for j in range(q)
+        ]
+        self.checksum = Checksum(coins, ("iblt-checksum", label), bits=61)
+        self.counts = [0] * self.m
+        self.key_xor = [0] * self.m
+        self.check_xor = [0] * self.m
+
+    # -- structure ---------------------------------------------------------
+    def cell_indices(self, key: int) -> list[int]:
+        """The ``q`` distinct cells ``key`` maps to (one per block)."""
+        return [
+            j * self.block_size + self._cell_hashes[j](key) % self.block_size
+            for j in range(self.q)
+        ]
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
+        return key
+
+    # -- updates -----------------------------------------------------------
+    def insert(self, key: int) -> None:
+        """Add a key (count +1 in each of its cells)."""
+        self._update(key, +1)
+
+    def delete(self, key: int) -> None:
+        """Remove a key (count -1); valid even if the key was never added."""
+        self._update(key, -1)
+
+    def _update(self, key: int, sign: int) -> None:
+        key = self._check_key(key)
+        check = self.checksum(key)
+        for index in self.cell_indices(key):
+            self.counts[index] += sign
+            self.key_xor[index] ^= key
+            self.check_xor[index] ^= check
+
+    def insert_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def delete_all(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.delete(key)
+
+    # -- combination ---------------------------------------------------------
+    def subtract(self, other: "IBLT") -> "IBLT":
+        """Cell-wise difference ``self - other`` (for reconciliation).
+
+        Both tables must have been built from the same coins/label/shape.
+        After subtraction the table holds the symmetric difference of the
+        two key multisets, inserted keys positive and the other side's
+        negative.
+        """
+        self._check_compatible(other)
+        result = self._empty_clone()
+        for index in range(self.m):
+            result.counts[index] = self.counts[index] - other.counts[index]
+            result.key_xor[index] = self.key_xor[index] ^ other.key_xor[index]
+            result.check_xor[index] = self.check_xor[index] ^ other.check_xor[index]
+        return result
+
+    def _check_compatible(self, other: "IBLT") -> None:
+        if (
+            self.m != other.m
+            or self.q != other.q
+            or self.key_bits != other.key_bits
+            or self.label != other.label
+        ):
+            raise ValueError("IBLTs are structurally incompatible")
+
+    def _empty_clone(self) -> "IBLT":
+        clone = object.__new__(IBLT)
+        clone.q = self.q
+        clone.block_size = self.block_size
+        clone.m = self.m
+        clone.key_bits = self.key_bits
+        clone.label = self.label
+        clone._cell_hashes = self._cell_hashes
+        clone.checksum = self.checksum
+        clone.counts = [0] * self.m
+        clone.key_xor = [0] * self.m
+        clone.check_xor = [0] * self.m
+        return clone
+
+    def copy(self) -> "IBLT":
+        clone = self._empty_clone()
+        clone.counts = list(self.counts)
+        clone.key_xor = list(self.key_xor)
+        clone.check_xor = list(self.check_xor)
+        return clone
+
+    # -- decoding ------------------------------------------------------------
+    def _is_pure(self, index: int) -> bool:
+        count = self.counts[index]
+        if count not in (1, -1):
+            return False
+        key = self.key_xor[index]
+        return self.check_xor[index] == self.checksum(key)
+
+    def decode(self) -> IBLTDecodeResult:
+        """Peel the table, recovering the signed symmetric difference.
+
+        Destructive: the table is emptied of whatever could be peeled.
+        ``success`` is True iff every cell ended at count 0 with zero key
+        and checksum XORs (i.e. the hypergraph had an empty 2-core and no
+        checksum anomalies).
+        """
+        result = IBLTDecodeResult(success=False)
+        queue = [index for index in range(self.m) if self._is_pure(index)]
+        seen_in_queue = set(queue)
+        while queue:
+            index = queue.pop()
+            seen_in_queue.discard(index)
+            if not self._is_pure(index):
+                continue
+            sign = self.counts[index]
+            key = self.key_xor[index]
+            if sign > 0:
+                result.inserted.append(key)
+            else:
+                result.deleted.append(key)
+            self._update(key, -sign)
+            for neighbor in self.cell_indices(key):
+                if neighbor not in seen_in_queue and self._is_pure(neighbor):
+                    queue.append(neighbor)
+                    seen_in_queue.add(neighbor)
+        result.success = all(
+            self.counts[index] == 0
+            and self.key_xor[index] == 0
+            and self.check_xor[index] == 0
+            for index in range(self.m)
+        )
+        return result
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        """Net number of (signed) items currently in the table."""
+        return abs(sum(self.counts)) // self.q if self.q else 0
+
+    def is_empty(self) -> bool:
+        return all(count == 0 for count in self.counts) and all(
+            x == 0 for x in self.key_xor
+        )
+
+    def nonzero_cells(self) -> Iterator[int]:
+        for index in range(self.m):
+            if self.counts[index] != 0 or self.key_xor[index] != 0:
+                yield index

@@ -1,0 +1,352 @@
+"""Robust Invertible Bloom Lookup Tables (Section 2.2 of the paper).
+
+The RIBLT is the paper's main data-structure contribution.  It differs
+from a classic IBLT in five ways (numbered as in the paper):
+
+1. Peeling is *breadth-first* (FIFO): a cell that became peelable earlier
+   is peeled earlier.  The error-propagation analysis (Lemma 3.10) depends
+   on this order.
+2. The table is *sparser*: callers size it so the load ``c = pairs/m``
+   satisfies ``c < 1/(q(q-1))``, making the underlying hypergraph all trees
+   and unicyclic components w.h.p. (Lemma B.3).
+3. Cells hold a *sum* of keys (not an XOR) so duplicate keys can be
+   recognised and so insert/delete are exact inverses over the integers.
+4. Cells hold a *sum* of values: a ``d``-vector of integers in
+   ``{-nΔ, ..., nΔ}`` (Python ints never overflow, so the paper's widened
+   cell representation is automatic; the serializer accounts for the extra
+   ``O(d log(nΔ))`` bits per cell).
+5. A cell containing ``C`` copies of the *same* key is recognised by
+   divisibility plus the checksum test ``checksum(K/C)·C == S`` and peeled
+   in one step: each extracted pair's value is the clamped average ``V/C``
+   with independent randomized rounding of fractional coordinates.
+
+Because two *different* points with the same key don't cancel exactly,
+peeling leaves residual "error" in the value sums which is swept along to
+later extractions -- exactly the propagation of Figure 1 that Lemma 3.10
+bounds.  The ``decode`` here implements those semantics faithfully:
+peeling a cell subtracts the *entire cell snapshot* (count, key sum,
+checksum sum, value sum) from every cell the key hashes to.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..hashing import Checksum, PairwiseHash, PublicCoins
+from ..metric.spaces import Point
+
+__all__ = ["RIBLT", "RIBLTDecodeResult", "riblt_cells_for_pairs"]
+
+
+def riblt_cells_for_pairs(pairs: int, q: int = 3) -> int:
+    """Paper sizing: ``m = 4·q²·k`` cells for up to ``4k`` decoded pairs.
+
+    Algorithm 1 uses ``m = 4q²k`` and accepts decodes of at most ``4k``
+    pairs, giving load ``c <= 4k / (4q²k) = 1/q² < 1/(q(q-1))`` as item 2
+    requires.  ``pairs`` here is the *acceptance cap* (``4k``), so
+    ``m = q² · pairs``.
+    """
+    if pairs < 1:
+        raise ValueError(f"pairs must be >= 1, got {pairs}")
+    if q < 3:
+        raise ValueError(f"RIBLT requires q >= 3, got {q}")
+    return q * q * pairs
+
+
+@dataclass
+class RIBLTDecodeResult:
+    """Signed key-value pairs recovered from a subtracted RIBLT.
+
+    ``inserted`` holds pairs contributed (net) by the inserting party
+    (Alice in Algorithm 1); ``deleted`` pairs by the deleting party (Bob).
+    Values are points of the space and may carry accumulated error relative
+    to what was originally inserted -- that is the point of the analysis.
+    """
+
+    success: bool
+    inserted: list[tuple[int, Point]] = field(default_factory=list)
+    deleted: list[tuple[int, Point]] = field(default_factory=list)
+    peel_rounds: int = 0
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+
+class RIBLT:
+    """A robust IBLT over (key, point-value) pairs.
+
+    Parameters
+    ----------
+    coins, label:
+        Shared randomness; Alice's and Bob's tables must agree structurally.
+    cells:
+        Total cell count ``m`` (rounded up to a multiple of ``q``).
+    q:
+        Hash-function count; the paper requires ``q >= 3`` for the sparse
+        hypergraph regime.
+    key_bits:
+        Key width; keys lie in ``[0, 2^key_bits)``.
+    dim:
+        Value dimension ``d``.
+    side:
+        Per-coordinate range ``Δ``: extracted values are clamped into
+        ``[0, side-1]``.
+    """
+
+    def __init__(
+        self,
+        coins: PublicCoins,
+        label: object,
+        cells: int,
+        q: int,
+        key_bits: int,
+        dim: int,
+        side: int,
+    ):
+        if q < 3:
+            raise ValueError(f"RIBLT requires q >= 3, got {q}")
+        if cells < q:
+            raise ValueError(f"cells must be >= q, got {cells}")
+        self.q = q
+        self.block_size = (cells + q - 1) // q
+        self.m = self.block_size * q
+        self.key_bits = key_bits
+        self.dim = dim
+        self.side = side
+        self.label = label
+        self._cell_hashes = [
+            PairwiseHash(coins, ("riblt-cell", label, j), bits=61) for j in range(q)
+        ]
+        self.checksum = Checksum(coins, ("riblt-checksum", label), bits=61)
+        self.counts = [0] * self.m
+        self.key_sum = [0] * self.m
+        self.check_sum = [0] * self.m
+        self.value_sum = [[0] * dim for _ in range(self.m)]
+
+    # -- structure ---------------------------------------------------------
+    def cell_indices(self, key: int) -> list[int]:
+        """The ``q`` distinct cells (one per block) that ``key`` maps to."""
+        return [
+            j * self.block_size + self._cell_hashes[j](key) % self.block_size
+            for j in range(self.q)
+        ]
+
+    def _check_pair(self, key: int, value: Point) -> tuple[int, tuple[int, ...]]:
+        key = int(key)
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
+        value = tuple(int(v) for v in value)
+        if len(value) != self.dim:
+            raise ValueError(f"value has dimension {len(value)}, expected {self.dim}")
+        return key, value
+
+    # -- updates -----------------------------------------------------------
+    def insert(self, key: int, value: Point) -> None:
+        """Add a key-value pair (Alice's operation in Algorithm 1)."""
+        self._update(key, value, +1)
+
+    def delete(self, key: int, value: Point) -> None:
+        """Subtract a key-value pair (Bob's operation)."""
+        self._update(key, value, -1)
+
+    def _update(self, key: int, value: Point, sign: int) -> None:
+        key, value = self._check_pair(key, value)
+        check = self.checksum(key)
+        for index in self.cell_indices(key):
+            self.counts[index] += sign
+            self.key_sum[index] += sign * key
+            self.check_sum[index] += sign * check
+            cell_value = self.value_sum[index]
+            for coordinate in range(self.dim):
+                cell_value[coordinate] += sign * value[coordinate]
+
+    def insert_pairs(self, pairs: Iterable[tuple[int, Point]]) -> None:
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def delete_pairs(self, pairs: Iterable[tuple[int, Point]]) -> None:
+        for key, value in pairs:
+            self.delete(key, value)
+
+    # -- combination ---------------------------------------------------------
+    def subtract(self, other: "RIBLT") -> "RIBLT":
+        """Cell-wise ``self - other`` for two structurally identical tables."""
+        self._check_compatible(other)
+        result = self._empty_clone()
+        for index in range(self.m):
+            result.counts[index] = self.counts[index] - other.counts[index]
+            result.key_sum[index] = self.key_sum[index] - other.key_sum[index]
+            result.check_sum[index] = self.check_sum[index] - other.check_sum[index]
+            result.value_sum[index] = [
+                a - b
+                for a, b in zip(self.value_sum[index], other.value_sum[index])
+            ]
+        return result
+
+    def _check_compatible(self, other: "RIBLT") -> None:
+        if (
+            self.m != other.m
+            or self.q != other.q
+            or self.key_bits != other.key_bits
+            or self.dim != other.dim
+            or self.side != other.side
+            or self.label != other.label
+        ):
+            raise ValueError("RIBLTs are structurally incompatible")
+
+    def _empty_clone(self) -> "RIBLT":
+        clone = object.__new__(RIBLT)
+        clone.q = self.q
+        clone.block_size = self.block_size
+        clone.m = self.m
+        clone.key_bits = self.key_bits
+        clone.dim = self.dim
+        clone.side = self.side
+        clone.label = self.label
+        clone._cell_hashes = self._cell_hashes
+        clone.checksum = self.checksum
+        clone.counts = [0] * self.m
+        clone.key_sum = [0] * self.m
+        clone.check_sum = [0] * self.m
+        clone.value_sum = [[0] * self.dim for _ in range(self.m)]
+        return clone
+
+    def copy(self) -> "RIBLT":
+        clone = self._empty_clone()
+        clone.counts = list(self.counts)
+        clone.key_sum = list(self.key_sum)
+        clone.check_sum = list(self.check_sum)
+        clone.value_sum = [list(cell) for cell in self.value_sum]
+        return clone
+
+    # -- purity --------------------------------------------------------------
+    def _pure_key(self, index: int) -> int | None:
+        """Return the key if cell ``index`` passes the multi-copy purity test.
+
+        Section 2.2 item 5: the cell holds ``C`` copies of one key when the
+        key sum is divisible by the count, the quotient is a valid key, and
+        ``checksum(K/C) · C == S``.
+        """
+        count = self.counts[index]
+        if count == 0:
+            return None
+        key_total = self.key_sum[index]
+        if key_total % count != 0:
+            return None
+        key = key_total // count
+        if not 0 <= key < (1 << self.key_bits):
+            return None
+        if self.checksum(key) * count != self.check_sum[index]:
+            return None
+        return key
+
+    # -- extraction helpers ----------------------------------------------------
+    def _extract_values(
+        self, value_total: Sequence[int], copies: int, rng: random.Random
+    ) -> list[Point]:
+        """Materialise ``copies`` values from a value sum (item 5 semantics).
+
+        Each coordinate of ``value_total / copies`` is clamped into
+        ``[0, side-1]`` and fractional coordinates are independently
+        randomly rounded, once per extracted copy, with probability equal
+        to the fractional remainder of rounding up.
+        """
+        top = self.side - 1
+        points: list[Point] = []
+        for _ in range(copies):
+            coordinates: list[int] = []
+            for total in value_total:
+                if total <= 0:
+                    coordinates.append(0)
+                    continue
+                if total >= top * copies:
+                    coordinates.append(top)
+                    continue
+                floor_value, remainder = divmod(total, copies)
+                if remainder and rng.random() < remainder / copies:
+                    floor_value += 1
+                coordinates.append(floor_value)
+            points.append(tuple(coordinates))
+        return points
+
+    # -- decoding ------------------------------------------------------------
+    def decode(self, rng: random.Random | None = None) -> RIBLTDecodeResult:
+        """Breadth-first peeling of the (subtracted) table.
+
+        Destructive.  ``rng`` drives the randomized rounding of averaged
+        values (the decoder's private randomness; defaults to a fixed
+        seed for reproducibility).
+
+        ``success`` requires every cell to end with zero count, key sum and
+        checksum sum; *value* residue may remain -- that is the error the
+        protocol's analysis charges to the in-bucket matching.
+        """
+        if rng is None:
+            rng = random.Random(0x5EED)
+        result = RIBLTDecodeResult(success=False)
+
+        queue: deque[int] = deque()
+        enqueued = [False] * self.m
+        for index in range(self.m):
+            if self._pure_key(index) is not None:
+                queue.append(index)
+                enqueued[index] = True
+
+        while queue:
+            index = queue.popleft()
+            enqueued[index] = False
+            key = self._pure_key(index)
+            if key is None:
+                continue
+            result.peel_rounds += 1
+            count = self.counts[index]
+            copies = abs(count)
+            sign = 1 if count > 0 else -1
+            # Normalise sums to the positive orientation for extraction.
+            value_total = [sign * coordinate for coordinate in self.value_sum[index]]
+            values = self._extract_values(value_total, copies, rng)
+            target = result.inserted if sign > 0 else result.deleted
+            for value in values:
+                target.append((key, value))
+
+            # Subtract the *whole cell snapshot* from every cell of the key;
+            # this removes the copies and propagates any residual value
+            # error the cell had absorbed (Figure 1 semantics).
+            snapshot_count = count
+            snapshot_key = self.key_sum[index]
+            snapshot_check = self.check_sum[index]
+            snapshot_value = list(self.value_sum[index])
+            for neighbor in self.cell_indices(key):
+                self.counts[neighbor] -= snapshot_count
+                self.key_sum[neighbor] -= snapshot_key
+                self.check_sum[neighbor] -= snapshot_check
+                neighbor_value = self.value_sum[neighbor]
+                for coordinate in range(self.dim):
+                    neighbor_value[coordinate] -= snapshot_value[coordinate]
+                if not enqueued[neighbor] and self._pure_key(neighbor) is not None:
+                    queue.append(neighbor)
+                    enqueued[neighbor] = True
+
+        result.success = all(
+            self.counts[index] == 0
+            and self.key_sum[index] == 0
+            and self.check_sum[index] == 0
+            for index in range(self.m)
+        )
+        return result
+
+    # -- introspection ---------------------------------------------------------
+    def is_empty(self) -> bool:
+        return all(count == 0 for count in self.counts) and all(
+            key == 0 for key in self.key_sum
+        )
+
+    def residual_value_mass(self) -> int:
+        """Total absolute value residue left in cells (post-decode noise)."""
+        return sum(
+            abs(coordinate) for cell in self.value_sum for coordinate in cell
+        )

@@ -1,0 +1,37 @@
+"""Locality sensitive hashing: classic LSH, multi-scale LSH, key builders."""
+
+from .base import LSHBatch, LSHFamily, LSHParams, MLSHFamily, batches_for_p2_half
+from .bit_sampling import BitSamplingBatch, BitSamplingMLSH
+from .distance_bloom import DistanceSensitiveBloomFilter, DSBFParameters
+from .grid import GridBatch, GridMLSH, fold_cells
+from .keys import (
+    BatchKeyBuilder,
+    PrefixKeyBuilder,
+    VectorizedPrefixKeyBuilder,
+    key_bits_for,
+)
+from .onesided import OneSidedGridLSH
+from .pstable import PStableBatch, PStableMLSH, pstable_collision_probability
+
+__all__ = [
+    "LSHBatch",
+    "LSHFamily",
+    "LSHParams",
+    "MLSHFamily",
+    "batches_for_p2_half",
+    "BitSamplingBatch",
+    "DistanceSensitiveBloomFilter",
+    "DSBFParameters",
+    "BitSamplingMLSH",
+    "GridBatch",
+    "GridMLSH",
+    "fold_cells",
+    "BatchKeyBuilder",
+    "PrefixKeyBuilder",
+    "VectorizedPrefixKeyBuilder",
+    "key_bits_for",
+    "OneSidedGridLSH",
+    "PStableBatch",
+    "PStableMLSH",
+    "pstable_collision_probability",
+]

@@ -1,0 +1,20 @@
+"""Metric substrate: spaces, points, Hungarian matching, and EMD."""
+
+from .emd import emd, emd_k, emd_k_with_exclusions, emd_with_matching
+from .matching import greedy_matching, hungarian, matching_cost, min_cost_matching
+from .spaces import GridSpace, HammingSpace, MetricSpace, Point
+
+__all__ = [
+    "GridSpace",
+    "HammingSpace",
+    "MetricSpace",
+    "Point",
+    "emd",
+    "emd_k",
+    "emd_k_with_exclusions",
+    "emd_with_matching",
+    "greedy_matching",
+    "hungarian",
+    "matching_cost",
+    "min_cost_matching",
+]

@@ -1,0 +1,47 @@
+"""Two-party protocol harness: channel, serialization, table wire formats."""
+
+from .channel import ALICE, BOB, Channel, Message, TranscriptSummary
+from .serialize import (
+    BitReader,
+    BitWriter,
+    coordinate_bits,
+    read_point,
+    read_points,
+    write_point,
+    write_points,
+)
+from .tables import (
+    iblt_payload,
+    multiset_payload,
+    read_multiset_cells,
+    write_multiset_cells,
+    read_iblt_cells,
+    read_riblt_cells,
+    riblt_payload,
+    write_iblt_cells,
+    write_riblt_cells,
+)
+
+__all__ = [
+    "ALICE",
+    "BOB",
+    "Channel",
+    "Message",
+    "TranscriptSummary",
+    "BitReader",
+    "BitWriter",
+    "coordinate_bits",
+    "read_point",
+    "read_points",
+    "write_point",
+    "write_points",
+    "iblt_payload",
+    "multiset_payload",
+    "read_multiset_cells",
+    "write_multiset_cells",
+    "read_iblt_cells",
+    "read_riblt_cells",
+    "riblt_payload",
+    "write_iblt_cells",
+    "write_riblt_cells",
+]

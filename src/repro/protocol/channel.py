@@ -1,0 +1,98 @@
+"""A simulated two-party channel with measured communication.
+
+Protocols in this library are written as explicit message exchanges over a
+:class:`Channel`.  Every message is a real byte payload (produced by the
+serializers in :mod:`repro.protocol.serialize`), and the channel records a
+transcript from which experiments read *measured* bits and round counts.
+
+Following the paper (Section 2), the number of *rounds* of a protocol is
+the number of messages sent, and a one-round protocol is a single message
+from Alice to Bob (or vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "Channel", "TranscriptSummary"]
+
+ALICE = "alice"
+BOB = "bob"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transmitted message."""
+
+    sender: str
+    label: str
+    payload: bytes
+    payload_bits: int
+
+    @property
+    def bits(self) -> int:
+        """Exact bit size the sender declared (<= 8 * len(payload))."""
+        return self.payload_bits
+
+
+@dataclass
+class TranscriptSummary:
+    """Aggregate view of a finished protocol run."""
+
+    total_bits: int
+    rounds: int
+    by_label: dict[str, int] = field(default_factory=dict)
+    by_sender: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+class Channel:
+    """Records messages between Alice and Bob.
+
+    ``send`` returns the payload so caller code naturally reads like a
+    protocol: the receiving party parses exactly the bytes that were
+    "sent".  ``payload_bits`` lets bit-packed messages report their exact
+    bit count (the final byte of a :class:`BitWriter` buffer is padded).
+    """
+
+    def __init__(self) -> None:
+        self.messages: list[Message] = []
+
+    def send(self, sender: str, label: str, payload: bytes, payload_bits: int | None = None) -> bytes:
+        """Transmit ``payload``; returns it for the receiver to parse."""
+        if sender not in (ALICE, BOB):
+            raise ValueError(f"sender must be 'alice' or 'bob', got {sender!r}")
+        bits = 8 * len(payload) if payload_bits is None else int(payload_bits)
+        if bits > 8 * len(payload):
+            raise ValueError(
+                f"declared {bits} bits exceeds payload of {8 * len(payload)} bits"
+            )
+        self.messages.append(
+            Message(sender=sender, label=label, payload=payload, payload_bits=bits)
+        )
+        return payload
+
+    @property
+    def total_bits(self) -> int:
+        return sum(message.bits for message in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Number of messages sent (the paper's round count)."""
+        return len(self.messages)
+
+    def summary(self) -> TranscriptSummary:
+        by_label: dict[str, int] = {}
+        by_sender: dict[str, int] = {}
+        for message in self.messages:
+            by_label[message.label] = by_label.get(message.label, 0) + message.bits
+            by_sender[message.sender] = by_sender.get(message.sender, 0) + message.bits
+        return TranscriptSummary(
+            total_bits=self.total_bits,
+            rounds=self.rounds,
+            by_label=by_label,
+            by_sender=by_sender,
+        )

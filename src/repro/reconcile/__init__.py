@@ -1,0 +1,32 @@
+"""Classical reconciliation baselines: naive, exact IBLT, quadtree ([7])."""
+
+from .exact_iblt import (
+    ExactReconcileResult,
+    decode_point,
+    encode_point,
+    exact_iblt_reconcile,
+    exact_iblt_reconcile_auto,
+)
+from .cpi import CPIResult, cpi_reconcile, evaluate_characteristic
+from .strata import StrataEstimator, read_strata, strata_payload
+from .naive import NaiveTransferResult, naive_full_transfer, naive_union_transfer
+from .quadtree import QuadtreeEMDProtocol, QuadtreeResult
+
+__all__ = [
+    "ExactReconcileResult",
+    "decode_point",
+    "encode_point",
+    "exact_iblt_reconcile",
+    "exact_iblt_reconcile_auto",
+    "StrataEstimator",
+    "CPIResult",
+    "cpi_reconcile",
+    "evaluate_characteristic",
+    "read_strata",
+    "strata_payload",
+    "NaiveTransferResult",
+    "naive_full_transfer",
+    "naive_union_transfer",
+    "QuadtreeEMDProtocol",
+    "QuadtreeResult",
+]

@@ -1,0 +1,5 @@
+"""Multiset-of-sets reconciliation used by the Gap protocol ([22] substitute)."""
+
+from .protocol import SetsOfSetsReconciler, SetsOfSetsResult
+
+__all__ = ["SetsOfSetsReconciler", "SetsOfSetsResult"]

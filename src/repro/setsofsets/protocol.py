@@ -1,0 +1,350 @@
+"""Multiset-of-sets reconciliation (substitute for Mitzenmacher–Morgan [22]).
+
+The Gap protocol's middle rounds let Alice recover the multiset of Bob's
+*keys*, where a key is a length-``h`` vector of ``O(log n)``-bit entries
+and close keys differ in few entries.  The paper invokes Theorem 3.11 of
+[22] as a black box; this module implements a 3-round protocol with the
+same interface and communication *shape* (see DESIGN.md, substitution 1):
+
+* **Round 1 (Bob -> Alice)** — a counting IBLT over Bob's *entry items*
+  ``(vector index, entry value)``, multiplicities respected.  Alice
+  deletes her own items; the surviving signed difference has one item per
+  pairwise entry difference — ``O(z)`` items, *not* ``n·h``.
+* **Round 2 (Alice -> Bob)** — the list of Bob-side differing items.
+* **Round 3 (Bob -> Alice)** — for each of his keys containing differing
+  items: the key verbatim if at least a third of its entries differ (far
+  keys), otherwise a *patch*: the differing entries plus a checksum of
+  the whole key.  Alice reconstructs each patched key by applying the
+  patch to each of her own keys and testing the checksum.
+
+Signature entries
+-----------------
+Internally every key gets an extra entry: a hash of the whole vector.
+Identical keys on the two sides then cancel *including* their signatures,
+while any Bob key not identically held by Alice is guaranteed a differing
+item (its signature) and therefore gets recovered in Round 3.  Conversely
+Alice infers which of her own keys Bob (very likely) also holds: a key
+none of whose items — signature included — survived as Alice-only must be
+entry-wise covered by Bob's multiset, and signature coverage means an
+identical key on Bob's side up to hash collision.  These appear in
+``shared_alice_keys``.
+
+Failure semantics
+-----------------
+Reconstruction of a patched key can fail (multiset cancellations may hide
+a differing entry, leaving the patch incomplete): such keys are counted
+``unresolved``.  For the Gap protocol this failure mode is *safe*: a Bob
+key Alice does not know can only make her transmit extra close points,
+never suppress a far one, so the ``r2`` guarantee survives (the model
+explicitly allows extra points of ``S_A`` in ``T_A``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..hashing import PublicCoins, VectorHash
+from ..iblt.counting import MultisetIBLT
+from ..iblt.iblt import cells_for_differences
+from ..protocol.channel import ALICE, BOB, Channel
+from ..protocol.serialize import BitReader, BitWriter
+from ..protocol.tables import multiset_payload, read_multiset_cells
+
+__all__ = ["SetsOfSetsResult", "SetsOfSetsReconciler"]
+
+KeyVector = tuple[int, ...]
+
+_CHECK_BITS = 61
+
+
+@dataclass
+class SetsOfSetsResult:
+    """Outcome of the reconciliation (Alice's view of Bob's keys).
+
+    Attributes
+    ----------
+    success:
+        False iff the Round-1 counting IBLT failed to peel (undersized).
+    recovered:
+        Reconstructed Bob keys (those differing from all of Alice's) with
+        multiplicities.
+    shared_alice_keys:
+        Alice's own keys inferred to be identically present on Bob's side.
+    unresolved:
+        Multiplicity-weighted count of Bob keys whose patch could not be
+        applied to any of Alice's keys.
+    pair_difference:
+        Number of differing entry items the IBLT decoded (``z`` in [22]).
+    """
+
+    success: bool
+    recovered: dict[KeyVector, int] = field(default_factory=dict)
+    shared_alice_keys: list[KeyVector] = field(default_factory=list)
+    unresolved: int = 0
+    pair_difference: int = 0
+    total_bits: int = 0
+    rounds: int = 0
+
+    @property
+    def recovered_keys(self) -> list[KeyVector]:
+        return list(self.recovered)
+
+    @property
+    def bob_key_view(self) -> list[KeyVector]:
+        """Every key Alice should treat as held by Bob."""
+        return list(self.recovered) + list(self.shared_alice_keys)
+
+
+class SetsOfSetsReconciler:
+    """3-round multiset-of-keys reconciliation.
+
+    Parameters
+    ----------
+    coins, label:
+        Shared randomness.
+    entries:
+        ``h``: entries per (external) key vector.
+    entry_bits:
+        Bit width of each entry (``Θ(log n)`` in the Gap protocol).
+    expected_differences:
+        Sizing hint: the expected number of pairwise entry differences
+        ``z`` (the Gap protocol passes ``O((k + ρn) log n)``).
+    size_multiplier:
+        Headroom on the counting IBLT (failure probability decays
+        geometrically in this).
+    verbatim_fraction:
+        Keys with at least this fraction of differing entries are sent
+        verbatim instead of patched (far keys differ in ``> h/3`` entries
+        under the threshold analysis of Theorem 4.2).
+    """
+
+    def __init__(
+        self,
+        coins: PublicCoins,
+        label: object,
+        entries: int,
+        entry_bits: int,
+        expected_differences: int,
+        q: int = 4,
+        size_multiplier: float = 4.0,
+        verbatim_fraction: float = 1.0 / 3.0,
+    ):
+        if entries < 1:
+            raise ValueError(f"entries must be >= 1, got {entries}")
+        if entry_bits < 1 or entry_bits > 55:
+            raise ValueError(f"entry_bits must be in [1, 55], got {entry_bits}")
+        self.coins = coins
+        self.label = label
+        self.entries = entries
+        self.internal_entries = entries + 1  # +1 signature entry
+        self.entry_bits = entry_bits
+        self.index_bits = max(1, (self.internal_entries - 1).bit_length())
+        self.item_bits = self.entry_bits + self.index_bits
+        self.expected_differences = max(1, int(expected_differences))
+        self.q = q
+        self.cells = cells_for_differences(
+            self.expected_differences, q=q, headroom=size_multiplier
+        )
+        self.verbatim_threshold = max(
+            1, math.ceil(verbatim_fraction * self.internal_entries)
+        )
+        self.signature_hash = VectorHash(
+            coins, ("sos-signature", label), arity=entries, bits=entry_bits
+        )
+        self.key_checksum = VectorHash(
+            coins,
+            ("sos-key-checksum", label),
+            arity=self.internal_entries,
+            bits=_CHECK_BITS,
+        )
+
+    # -- key / item encoding -------------------------------------------------
+    def _internal(self, key: KeyVector) -> KeyVector:
+        """Append the signature entry."""
+        if len(key) != self.entries:
+            raise ValueError(f"key has {len(key)} entries, expected {self.entries}")
+        return tuple(key) + (self.signature_hash(key),)
+
+    def _encode_item(self, index: int, value: int) -> int:
+        if not 0 <= value < (1 << self.entry_bits):
+            raise ValueError(f"entry value {value} outside [0, 2^{self.entry_bits})")
+        return (value << self.index_bits) | index
+
+    def _items_of(self, internal_keys: Sequence[KeyVector]) -> dict[int, int]:
+        """Multiset of entry items over an internal-key collection."""
+        items: dict[int, int] = {}
+        for key in internal_keys:
+            for index, value in enumerate(key):
+                item = self._encode_item(index, value)
+                items[item] = items.get(item, 0) + 1
+        return items
+
+    def _table(self) -> MultisetIBLT:
+        return MultisetIBLT(
+            self.coins,
+            ("sos-items", self.label),
+            cells=self.cells,
+            q=self.q,
+            key_bits=self.item_bits,
+        )
+
+    # -- the protocol ----------------------------------------------------------
+    def run(
+        self,
+        alice_keys: Sequence[KeyVector],
+        bob_keys: Sequence[KeyVector],
+        channel: Channel | None = None,
+    ) -> SetsOfSetsResult:
+        """Run the 3-round protocol; Alice ends with Bob's key multiset view."""
+        channel = channel if channel is not None else Channel()
+        alice_internal = [self._internal(key) for key in alice_keys]
+        bob_internal = [self._internal(key) for key in bob_keys]
+
+        # ---- Round 1: Bob -> Alice — counting IBLT over his items --------
+        bob_table = self._table()
+        for item, multiplicity in self._items_of(bob_internal).items():
+            bob_table.insert(item, multiplicity)
+        payload, bits = multiset_payload(bob_table)
+        sent = channel.send(BOB, "sos-item-iblt", payload, bits)
+
+        # Alice: load, delete her items, peel.
+        alice_view = read_multiset_cells(BitReader(sent), self._table())
+        for item, multiplicity in self._items_of(alice_internal).items():
+            alice_view.delete(item, multiplicity)
+        decoded = alice_view.decode()
+        if not decoded.success:
+            return SetsOfSetsResult(
+                success=False,
+                total_bits=channel.total_bits,
+                rounds=channel.rounds,
+            )
+        bob_only_items = decoded.positive  # item -> multiplicity
+        alice_only_items = set(decoded.negative)
+
+        # ---- Round 2: Alice -> Bob — the Bob-side differing items --------
+        writer = BitWriter()
+        writer.write_varuint(len(bob_only_items))
+        for item, multiplicity in sorted(bob_only_items.items()):
+            writer.write_uint(item, self.item_bits)
+            writer.write_varuint(multiplicity)
+        reply = channel.send(ALICE, "sos-query", writer.getvalue(), writer.bit_length)
+
+        reader = BitReader(reply)
+        query_count = reader.read_varuint()
+        queried_items: set[int] = set()
+        for _ in range(query_count):
+            item = reader.read_uint(self.item_bits)
+            reader.read_varuint()  # multiplicity (informational)
+            queried_items.add(item)
+
+        # ---- Round 3: Bob -> Alice — verbatim far keys + patches ----------
+        distinct_bob: dict[KeyVector, int] = {}
+        for key in bob_internal:
+            distinct_bob[key] = distinct_bob.get(key, 0) + 1
+
+        writer = BitWriter()
+        affected: list[tuple[KeyVector, int, list[tuple[int, int]]]] = []
+        for key, multiplicity in distinct_bob.items():
+            diff_entries = [
+                (index, value)
+                for index, value in enumerate(key)
+                if self._encode_item(index, value) in queried_items
+            ]
+            if diff_entries:
+                affected.append((key, multiplicity, diff_entries))
+        writer.write_varuint(len(affected))
+        for key, multiplicity, diff_entries in affected:
+            verbatim = len(diff_entries) >= self.verbatim_threshold
+            writer.write_bool(verbatim)
+            writer.write_varuint(multiplicity)
+            if verbatim:
+                # Signature entry is derivable; ship only the h real entries.
+                for value in key[: self.entries]:
+                    writer.write_uint(value, self.entry_bits)
+            else:
+                writer.write_uint(self.key_checksum(key), _CHECK_BITS)
+                writer.write_varuint(len(diff_entries))
+                for index, value in diff_entries:
+                    writer.write_uint(index, self.index_bits)
+                    writer.write_uint(value, self.entry_bits)
+        patch_payload = channel.send(
+            BOB, "sos-patches", writer.getvalue(), writer.bit_length
+        )
+
+        # ---- Alice: reconstruct Bob's keys --------------------------------
+        reader = BitReader(patch_payload)
+        recovered: dict[KeyVector, int] = {}
+        unresolved = 0
+        distinct_alice = list(dict.fromkeys(alice_internal))
+        record_count = reader.read_varuint()
+        for _ in range(record_count):
+            verbatim = reader.read_bool()
+            multiplicity = reader.read_varuint()
+            if verbatim:
+                external = tuple(
+                    reader.read_uint(self.entry_bits) for _ in range(self.entries)
+                )
+                recovered[external] = recovered.get(external, 0) + multiplicity
+                continue
+            checksum = reader.read_uint(_CHECK_BITS)
+            patch_length = reader.read_varuint()
+            patch = [
+                (reader.read_uint(self.index_bits), reader.read_uint(self.entry_bits))
+                for _ in range(patch_length)
+            ]
+            reconstructed = self._apply_patch(distinct_alice, patch, checksum)
+            if reconstructed is None:
+                unresolved += multiplicity
+            else:
+                recovered[reconstructed] = (
+                    recovered.get(reconstructed, 0) + multiplicity
+                )
+
+        # Alice infers identically-shared keys: none of their items (the
+        # signature included) ended Alice-only, so Bob's multiset covers
+        # every entry and, via the signature, holds the key itself.
+        shared: list[KeyVector] = []
+        for key in distinct_alice:
+            covered = all(
+                self._encode_item(index, value) not in alice_only_items
+                for index, value in enumerate(key)
+            )
+            if covered:
+                shared.append(key[: self.entries])
+
+        return SetsOfSetsResult(
+            success=True,
+            recovered=recovered,
+            shared_alice_keys=shared,
+            unresolved=unresolved,
+            pair_difference=decoded.total_difference,
+            total_bits=channel.total_bits,
+            rounds=channel.rounds,
+        )
+
+    def _apply_patch(
+        self,
+        alice_internal_keys: list[KeyVector],
+        patch: list[tuple[int, int]],
+        checksum: int,
+    ) -> KeyVector | None:
+        """Patch each of Alice's keys; the checksum identifies the original.
+
+        Returns the *external* (signature-stripped) key, additionally
+        validating that the signature entry is consistent with the
+        reconstructed vector.
+        """
+        for base in alice_internal_keys:
+            candidate = list(base)
+            for index, value in patch:
+                candidate[index] = value
+            key = tuple(candidate)
+            if self.key_checksum(key) != checksum:
+                continue
+            external = key[: self.entries]
+            if self.signature_hash(external) != key[self.entries]:
+                continue  # checksum collision produced an inconsistent key
+            return external
+        return None

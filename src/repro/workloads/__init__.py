@@ -1,0 +1,17 @@
+"""Synthetic workload generators for both reconciliation models."""
+
+from .generators import (
+    ReconciliationWorkload,
+    clustered_points,
+    noisy_replica_pair,
+    perturb_point,
+    random_far_point,
+)
+
+__all__ = [
+    "ReconciliationWorkload",
+    "clustered_points",
+    "noisy_replica_pair",
+    "perturb_point",
+    "random_far_point",
+]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import PublicCoins
+from repro.metric import GridSpace, HammingSpace
+
+
+@pytest.fixture
+def coins() -> PublicCoins:
+    return PublicCoins(0xC0FFEE)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xFEED)
+
+
+@pytest.fixture
+def hamming_space() -> HammingSpace:
+    return HammingSpace(32)
+
+
+@pytest.fixture
+def l1_space() -> GridSpace:
+    return GridSpace(side=128, dim=4, p=1.0)
+
+
+@pytest.fixture
+def l2_space() -> GridSpace:
+    return GridSpace(side=128, dim=4, p=2.0)

@@ -1,0 +1,68 @@
+"""Tests for the command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_emd_defaults(self):
+        args = build_parser().parse_args(["emd"])
+        assert args.space == "hamming"
+        assert args.n == 32
+
+    def test_gap_options(self):
+        args = build_parser().parse_args(
+            ["gap", "--space", "l1", "--r1", "4", "--r2", "512", "--lowdim"]
+        )
+        assert args.lowdim
+        assert args.r2 == 512.0
+
+    def test_exact_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exact", "--method", "bogus"])
+
+
+class TestCommands:
+    def test_emd_runs(self, capsys):
+        code = main(["emd", "--dim", "48", "--n", "16", "--k", "1",
+                     "--close-radius", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EMD protocol" in out
+        assert "EMD after" in out
+
+    def test_gap_lowdim_runs(self, capsys):
+        code = main([
+            "gap", "--space", "l1", "--side", "4096", "--dim", "2",
+            "--n", "24", "--k", "2", "--r1", "4", "--r2", "512",
+            "--close-radius", "4", "--far-radius", "700", "--lowdim",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gap guarantee holds | yes" in out
+
+    def test_gap_hamming_runs(self, capsys):
+        code = main([
+            "gap", "--space", "hamming", "--dim", "96", "--n", "16",
+            "--k", "1", "--r1", "2", "--r2", "32", "--seed", "5",
+        ])
+        assert code == 0
+        assert "Gap Guarantee" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["iblt", "auto", "cpi"])
+    def test_exact_methods_run(self, capsys, method):
+        code = main(["exact", "--method", method, "--n", "60", "--delta", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "union reached    | yes" in out
+
+    def test_lowdim_requires_grid(self, capsys):
+        code = main(["gap", "--space", "hamming", "--lowdim", "--n", "8", "--k", "1"])
+        assert code == 2

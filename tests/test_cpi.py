@@ -1,0 +1,121 @@
+"""Tests for characteristic-polynomial set reconciliation ([21])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import MERSENNE_P, PublicCoins
+from repro.metric import GridSpace, HammingSpace
+from repro.protocol import Channel
+from repro.reconcile import cpi_reconcile, evaluate_characteristic, exact_iblt_reconcile
+
+
+class TestCharacteristicPolynomial:
+    def test_root_evaluates_to_zero(self):
+        elements = [5, 17, 99]
+        values = evaluate_characteristic(elements, [17])
+        assert values == [0]
+
+    def test_nonroot_nonzero(self):
+        elements = [5, 17, 99]
+        values = evaluate_characteristic(elements, [4])
+        assert values[0] != 0
+
+    def test_empty_set_is_one(self):
+        assert evaluate_characteristic([], [123]) == [1]
+
+    def test_multiplicative(self):
+        a = evaluate_characteristic([3, 4], [100])[0]
+        b = evaluate_characteristic([5], [100])[0]
+        combined = evaluate_characteristic([3, 4, 5], [100])[0]
+        assert a * b % MERSENNE_P == combined
+
+
+class TestCPIReconcile:
+    def _sets(self, rng, n_shared=80, a_extra=3, b_extra=4):
+        space = HammingSpace(40)
+        shared = space.sample(rng, n_shared)
+        alice = shared + space.sample(rng, a_extra)
+        bob = shared + space.sample(rng, b_extra)
+        return space, alice, bob
+
+    def test_basic_reconciliation(self, rng):
+        space, alice, bob = self._sets(rng)
+        result = cpi_reconcile(space, alice, bob, delta_bound=8, coins=PublicCoins(1))
+        assert result.success
+        assert set(result.bob_final) == set(alice) | set(bob)
+        assert len(result.alice_only) == 3
+        assert len(result.bob_only) == 4
+        assert result.rounds == 2
+
+    def test_exact_bound(self, rng):
+        """delta_bound exactly max one-sided difference still works."""
+        space, alice, bob = self._sets(rng, a_extra=2, b_extra=5)
+        result = cpi_reconcile(space, alice, bob, delta_bound=5, coins=PublicCoins(2))
+        assert result.success
+        assert len(result.bob_only) == 5
+
+    def test_identical_sets(self, rng):
+        space = HammingSpace(40)
+        points = space.sample(rng, 60)
+        result = cpi_reconcile(space, points, points, delta_bound=4, coins=PublicCoins(3))
+        assert result.success
+        assert result.alice_only == []
+        assert result.bob_only == []
+
+    def test_unbalanced_sizes(self, rng):
+        space = HammingSpace(40)
+        shared = space.sample(rng, 50)
+        alice = shared + space.sample(rng, 6)
+        bob = list(shared)
+        result = cpi_reconcile(space, alice, bob, delta_bound=8, coins=PublicCoins(4))
+        assert result.success
+        assert len(result.alice_only) == 6
+        assert result.bob_only == []
+
+    def test_undersized_bound_fails_gracefully(self, rng):
+        space = HammingSpace(40)
+        alice = space.sample(rng, 40)
+        bob = space.sample(rng, 40)
+        result = cpi_reconcile(space, alice, bob, delta_bound=3, coins=PublicCoins(5))
+        assert not result.success
+        assert result.bob_final == bob
+
+    def test_communication_beats_iblt(self, rng):
+        """[21]'s selling point: near-optimal constant factor."""
+        space, alice, bob = self._sets(rng)
+        cpi = cpi_reconcile(space, alice, bob, delta_bound=8, coins=PublicCoins(6))
+        iblt = exact_iblt_reconcile(space, alice, bob, delta_bound=8, coins=PublicCoins(6))
+        assert cpi.success and iblt.success
+        assert cpi.total_bits < iblt.total_bits
+
+    def test_rejects_huge_universe(self, rng):
+        space = HammingSpace(100)  # 100 bits > field size
+        points = space.sample(rng, 5)
+        with pytest.raises(ValueError):
+            cpi_reconcile(space, points, points, delta_bound=2, coins=PublicCoins(7))
+
+    def test_rejects_zero_bound(self, rng):
+        space = HammingSpace(40)
+        points = space.sample(rng, 5)
+        with pytest.raises(ValueError):
+            cpi_reconcile(space, points, points, delta_bound=0, coins=PublicCoins(8))
+
+    def test_grid_space(self, rng):
+        space = GridSpace(side=256, dim=5, p=2.0)  # 40-bit universe
+        shared = space.sample(rng, 40)
+        alice = shared + space.sample(rng, 2)
+        bob = shared + space.sample(rng, 1)
+        result = cpi_reconcile(space, alice, bob, delta_bound=4, coins=PublicCoins(9))
+        assert result.success
+        assert set(result.bob_final) == set(alice) | set(bob)
+
+    def test_channel_accounting(self, rng):
+        space, alice, bob = self._sets(rng)
+        channel = Channel()
+        result = cpi_reconcile(
+            space, alice, bob, delta_bound=8, coins=PublicCoins(10), channel=channel
+        )
+        assert result.total_bits == channel.total_bits
+        assert channel.rounds == 2

@@ -1,0 +1,142 @@
+"""Tests for distance-sensitive Bloom filters ([18])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import PublicCoins
+from repro.lsh import BitSamplingMLSH, DistanceSensitiveBloomFilter, GridMLSH
+from repro.metric import GridSpace, HammingSpace
+from repro.workloads import perturb_point
+
+
+def _hamming_filter(coins, expected_items=32, **kwargs):
+    space = HammingSpace(128)
+    family = BitSamplingMLSH(space, w=128.0)
+    params = family.derived_lsh_params(r1=2.0, r2=40.0)
+    return space, DistanceSensitiveBloomFilter(
+        space, family, params, coins,
+        groups=48, row_bits=512, expected_items=expected_items, **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_derived_parameters(self, coins):
+        _, bloom = _hamming_filter(coins)
+        derived = bloom.derived
+        assert derived.groups == 48
+        assert derived.close_row_probability > derived.far_row_probability
+        assert 1 <= derived.threshold <= derived.groups
+
+    def test_per_group_scales_with_expected_items(self, coins):
+        _, small = _hamming_filter(coins, expected_items=4)
+        _, big = _hamming_filter(coins, expected_items=1024)
+        assert big.per_group > small.per_group
+
+    def test_rejects_bad_shape(self, coins):
+        space = HammingSpace(16)
+        family = BitSamplingMLSH(space, w=16.0)
+        params = family.derived_lsh_params(r1=1.0, r2=8.0)
+        with pytest.raises(ValueError):
+            DistanceSensitiveBloomFilter(space, family, params, coins, groups=0)
+        with pytest.raises(ValueError):
+            DistanceSensitiveBloomFilter(space, family, params, coins, row_bits=1)
+        with pytest.raises(ValueError):
+            DistanceSensitiveBloomFilter(
+                space, family, params, coins, expected_items=0
+            )
+
+    def test_inseparable_parameters_rejected(self, coins):
+        space = HammingSpace(16)
+        family = BitSamplingMLSH(space, w=16.0)
+        params = family.derived_lsh_params(r1=1.0, r2=8.0)
+        # Tiny rows with many expected items: fill exceeds the close rate.
+        with pytest.raises(ValueError):
+            DistanceSensitiveBloomFilter(
+                space, family, params, coins, row_bits=2, expected_items=1000
+            )
+
+    def test_size_bits(self, coins):
+        _, bloom = _hamming_filter(coins)
+        assert bloom.size_bits == 48 * 512
+
+
+class TestQueries:
+    def test_members_always_positive(self, coins, rng):
+        space, bloom = _hamming_filter(coins)
+        members = space.sample(rng, 25)
+        bloom.add_all(members)
+        assert all(bloom.query(member) for member in members)
+
+    def test_close_queries_positive(self, coins, rng):
+        space, bloom = _hamming_filter(coins)
+        members = space.sample(rng, 25)
+        bloom.add_all(members)
+        positives = sum(
+            bloom.query(perturb_point(space, member, 2, rng))
+            for member in members
+        )
+        assert positives >= 23
+
+    def test_far_queries_negative(self, coins, rng):
+        space, bloom = _hamming_filter(coins)
+        bloom.add_all(space.sample(rng, 25))
+        # Random points are ~64 bits away from everything.
+        negatives = sum(not bloom.query(p) for p in space.sample(rng, 30))
+        assert negatives >= 28
+
+    def test_empty_filter_rejects_everything(self, coins, rng):
+        space, bloom = _hamming_filter(coins)
+        assert not any(bloom.query(p) for p in space.sample(rng, 10))
+
+    def test_grid_family(self, coins, rng):
+        space = GridSpace(side=4096, dim=2, p=1.0)
+        family = GridMLSH(space, w=512.0)
+        params = family.derived_lsh_params(r1=4.0, r2=512.0)
+        bloom = DistanceSensitiveBloomFilter(
+            space, family, params, coins,
+            groups=48, row_bits=512, expected_items=32,
+        )
+        members = space.sample(rng, 25)
+        bloom.add_all(members)
+        close_hits = sum(
+            bloom.query(perturb_point(space, m, 4, rng)) for m in members
+        )
+        far = [
+            p for p in space.sample(rng, 80)
+            if min(space.distance(p, m) for m in members) > 512
+        ][:20]
+        far_hits = sum(bloom.query(p) for p in far)
+        assert close_hits >= 23
+        assert far_hits <= 2
+
+
+class TestMerge:
+    def test_merge_unions(self, rng):
+        coins = PublicCoins(0xAB)
+        space, bloom_a = _hamming_filter(coins)
+        _, bloom_b = _hamming_filter(coins)
+        members_a = space.sample(rng, 10)
+        members_b = space.sample(rng, 10)
+        bloom_a.add_all(members_a)
+        bloom_b.add_all(members_b)
+        bloom_a.merge(bloom_b)
+        assert all(bloom_a.query(m) for m in members_a + members_b)
+        assert len(bloom_a) == 20
+
+    def test_merge_incompatible_rejected(self, coins):
+        space, bloom = _hamming_filter(coins)
+        family = BitSamplingMLSH(space, w=128.0)
+        params = family.derived_lsh_params(r1=2.0, r2=40.0)
+        other = DistanceSensitiveBloomFilter(
+            space, family, params, coins, groups=16, row_bits=512,
+            expected_items=32,
+        )
+        with pytest.raises(ValueError):
+            bloom.merge(other)
+
+    def test_count(self, coins, rng):
+        space, bloom = _hamming_filter(coins)
+        bloom.add(space.sample(rng, 1)[0])
+        assert len(bloom) == 1

@@ -1,0 +1,153 @@
+"""Tests for EMD and EMD_k (Definitions 3.2 / 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric import (
+    GridSpace,
+    HammingSpace,
+    emd,
+    emd_k,
+    emd_k_with_exclusions,
+    emd_with_matching,
+)
+
+
+class TestEMD:
+    def test_identical_sets_zero(self, l2_space, rng):
+        points = l2_space.sample(rng, 8)
+        assert emd(l2_space, points, points) == 0
+
+    def test_permuted_sets_zero(self, l2_space, rng):
+        points = l2_space.sample(rng, 8)
+        shuffled = list(points)
+        np.random.default_rng(0).shuffle(shuffled)
+        assert emd(l2_space, points, shuffled) == 0
+
+    def test_symmetry(self, l1_space, rng):
+        xs = l1_space.sample(rng, 6)
+        ys = l1_space.sample(rng, 6)
+        assert emd(l1_space, xs, ys) == pytest.approx(emd(l1_space, ys, xs))
+
+    def test_requires_equal_sizes(self, l1_space, rng):
+        with pytest.raises(ValueError):
+            emd(l1_space, l1_space.sample(rng, 3), l1_space.sample(rng, 4))
+
+    def test_empty_sets(self, l1_space):
+        assert emd(l1_space, [], []) == 0
+
+    def test_known_value(self):
+        space = GridSpace(side=10, dim=1, p=1.0)
+        xs = [(0,), (5,)]
+        ys = [(1,), (9,)]
+        # optimal: 0->1 (1), 5->9 (4) = 5 ; crossed: 0->9 + 5->1 = 13
+        assert emd(space, xs, ys) == 5
+
+    def test_matching_is_bijection(self, l2_space, rng):
+        xs = l2_space.sample(rng, 7)
+        ys = l2_space.sample(rng, 7)
+        value, matching = emd_with_matching(l2_space, xs, ys)
+        assert sorted(matching) == list(range(7))
+        assert value >= 0
+
+    def test_beats_identity_matching(self, l2_space, rng):
+        xs = l2_space.sample(rng, 9)
+        ys = l2_space.sample(rng, 9)
+        identity_cost = sum(l2_space.distance(x, y) for x, y in zip(xs, ys))
+        assert emd(l2_space, xs, ys) <= identity_cost + 1e-9
+
+    def test_triangle_inequality(self, l1_space, rng):
+        xs = l1_space.sample(rng, 5)
+        ys = l1_space.sample(rng, 5)
+        zs = l1_space.sample(rng, 5)
+        assert emd(l1_space, xs, zs) <= (
+            emd(l1_space, xs, ys) + emd(l1_space, ys, zs) + 1e-9
+        )
+
+
+class TestEMDk:
+    def test_zero_k_equals_emd(self, l1_space, rng):
+        xs = l1_space.sample(rng, 6)
+        ys = l1_space.sample(rng, 6)
+        assert emd_k(l1_space, xs, ys, 0) == pytest.approx(emd(l1_space, xs, ys))
+
+    def test_monotone_in_k(self, l2_space, rng):
+        xs = l2_space.sample(rng, 8)
+        ys = l2_space.sample(rng, 8)
+        values = [emd_k(l2_space, xs, ys, k) for k in range(5)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_k_equals_n_is_zero(self, l2_space, rng):
+        xs = l2_space.sample(rng, 4)
+        ys = l2_space.sample(rng, 4)
+        assert emd_k(l2_space, xs, ys, 4) == 0
+        assert emd_k(l2_space, xs, ys, 10) == 0
+
+    def test_negative_k_rejected(self, l2_space, rng):
+        xs = l2_space.sample(rng, 3)
+        with pytest.raises(ValueError):
+            emd_k(l2_space, xs, xs, -1)
+
+    def test_removes_outlier(self):
+        """EMD_1 should exclude the single far pair entirely."""
+        space = GridSpace(side=100, dim=1, p=1.0)
+        xs = [(0,), (10,), (99,)]
+        ys = [(0,), (10,), (1,)]
+        assert emd(space, xs, ys) > 50
+        assert emd_k(space, xs, ys, 1) == 0
+
+    def test_exclusions_reported(self):
+        space = GridSpace(side=100, dim=1, p=1.0)
+        xs = [(0,), (10,), (99,)]
+        ys = [(0,), (10,), (1,)]
+        value, excluded_x, excluded_y = emd_k_with_exclusions(space, xs, ys, 1)
+        assert value == 0
+        assert excluded_x == [2]
+        assert excluded_y == [2]
+
+    def test_exclusion_counts(self, l2_space, rng):
+        xs = l2_space.sample(rng, 7)
+        ys = l2_space.sample(rng, 7)
+        _, excluded_x, excluded_y = emd_k_with_exclusions(l2_space, xs, ys, 3)
+        assert len(excluded_x) == 3
+        assert len(excluded_y) == 3
+
+    def test_matches_bruteforce_exclusions(self):
+        """Exhaustively verify EMD_k on a small instance."""
+        from itertools import combinations
+
+        space = GridSpace(side=50, dim=2, p=1.0)
+        rng = np.random.default_rng(9)
+        xs = space.sample(rng, 5)
+        ys = space.sample(rng, 5)
+        k = 2
+        best = float("inf")
+        for keep_x in combinations(range(5), 5 - k):
+            for keep_y in combinations(range(5), 5 - k):
+                sub_x = [xs[i] for i in keep_x]
+                sub_y = [ys[j] for j in keep_y]
+                best = min(best, emd(space, sub_x, sub_y))
+        assert emd_k(space, xs, ys, k) == pytest.approx(best)
+
+    def test_hamming_emd(self, rng):
+        space = HammingSpace(12)
+        xs = space.sample(rng, 6)
+        assert emd_k(space, xs, xs, 2) == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    n=st.integers(min_value=1, max_value=7),
+    k=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_emd_k_upper_bounded_by_emd(seed, n, k):
+    space = GridSpace(side=32, dim=3, p=1.0)
+    rng = np.random.default_rng(seed)
+    xs = space.sample(rng, n)
+    ys = space.sample(rng, n)
+    assert emd_k(space, xs, ys, k) <= emd(space, xs, ys) + 1e-9

@@ -1,0 +1,112 @@
+"""Quantitative checks of the EMD protocol's supporting lemmas.
+
+These tests verify the probabilistic machinery *inside* Algorithm 1 at
+the level the paper analyses it, not just end-to-end behaviour:
+
+* **Lemma B.1**: a pair at distance ``x`` hashes differently at level
+  ``i`` with probability at most ``2^{i-4}·k/D2 · x``.
+* **Lemma 3.8's driver**: close pairs keep colliding at coarse levels
+  and separate as levels refine; the level at which a pair separates
+  grows as its distance shrinks.
+* **Equation (1)**: the derived hash counts satisfy the ``>= 3`` floor
+  at the decodability level ``i'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import derive_emd_parameters
+from repro.hashing import PublicCoins
+from repro.metric import HammingSpace
+
+
+def _level_mismatch_rates(distance: int, trials: int = 300, n=32, k=2, d=64):
+    """Empirical Pr[pair at `distance` differs at each level]."""
+    space = HammingSpace(d)
+    params = derive_emd_parameters(space, n=n, k=k)
+    mismatches = np.zeros(params.levels)
+    rng = np.random.default_rng(distance)
+    for trial in range(trials):
+        coins = PublicCoins(10_000 * distance + trial)
+        batch = params.family.sample_batch(coins, "lemma", params.total_hashes)
+        x = tuple(int(v) for v in rng.integers(0, 2, size=d))
+        y = list(x)
+        for index in rng.choice(d, size=distance, replace=False):
+            y[int(index)] ^= 1
+        values = batch.evaluate([x, tuple(y)])
+        equal = values[0] == values[1]
+        for level, count in enumerate(params.hash_counts):
+            if not equal[:count].all():
+                mismatches[level] += 1
+    return params, mismatches / trials
+
+
+class TestLemmaB1:
+    @pytest.mark.parametrize("distance", [1, 2, 4])
+    def test_mismatch_probability_bounded(self, distance):
+        """Pr[differ at level i] <= 2^{i-4}·k/D2 · x (Lemma B.1)."""
+        params, rates = _level_mismatch_rates(distance)
+        for level_index, rate in enumerate(rates):
+            i = level_index + 1  # paper levels are 1-indexed
+            bound = (2 ** (i - 4)) * params.k / params.d2 * distance
+            # Monte-Carlo slack of ~3 sigma at 300 trials.
+            sigma = np.sqrt(max(rate * (1 - rate), 0.01) / 300)
+            assert rate <= min(1.0, bound) + 3 * sigma + 0.02, (
+                i,
+                rate,
+                bound,
+            )
+
+    def test_mismatch_monotone_in_level(self):
+        """Finer levels use more hashes, so mismatch rates increase."""
+        _, rates = _level_mismatch_rates(2)
+        # Allow small Monte-Carlo wiggle while requiring the trend.
+        assert rates[-1] >= rates[0]
+        assert rates[-1] > 0.1  # finest level separates distance-2 pairs often
+
+    def test_mismatch_monotone_in_distance(self):
+        _, near = _level_mismatch_rates(1, trials=200)
+        _, far = _level_mismatch_rates(4, trials=200)
+        # At the top (finest) level, farther pairs separate more often.
+        assert far[-1] >= near[-1] - 0.05
+
+
+class TestEquationOne:
+    def test_three_hash_floor(self):
+        """Eq. (1): c_1 = k/(8·D2·ln(1/p)) >= 3 at the derived p."""
+        for n, k in ((16, 1), (32, 2), (64, 4)):
+            params = derive_emd_parameters(HammingSpace(64), n=n, k=k)
+            assert params.hash_counts[0] >= 3
+
+    def test_counts_double(self):
+        params = derive_emd_parameters(HammingSpace(64), n=32, k=2)
+        for a, b in zip(params.hash_counts, params.hash_counts[1:]):
+            assert b == pytest.approx(2 * a, rel=0.35)
+
+
+class TestLevelSeparation:
+    def test_identical_pairs_never_differ(self):
+        """Distance-0 pairs share every key at every level."""
+        space = HammingSpace(64)
+        params = derive_emd_parameters(space, n=16, k=1)
+        coins = PublicCoins(5)
+        batch = params.family.sample_batch(coins, "sep", params.total_hashes)
+        rng = np.random.default_rng(5)
+        point = tuple(int(v) for v in rng.integers(0, 2, size=64))
+        values = batch.evaluate([point, point])
+        assert (values[0] == values[1]).all()
+
+    def test_diameter_pairs_differ_at_fine_levels(self):
+        space = HammingSpace(64)
+        params = derive_emd_parameters(space, n=16, k=1)
+        coins = PublicCoins(6)
+        batch = params.family.sample_batch(coins, "sep2", params.total_hashes)
+        zero = tuple([0] * 64)
+        ones = tuple([1] * 64)
+        values = batch.evaluate([zero, ones])
+        equal = values[0] == values[1]
+        finest = params.hash_counts[-1]
+        # At the finest level, a diameter-apart pair must differ.
+        assert not equal[:finest].all()

@@ -1,0 +1,204 @@
+"""End-to-end tests for the Gap Guarantee protocols (Theorems 4.2, 4.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GapProtocol,
+    low_dim_entries,
+    low_dimensional_gap_protocol,
+    verify_gap_guarantee,
+)
+from repro.hashing import PublicCoins
+from repro.lsh import BitSamplingMLSH, OneSidedGridLSH
+from repro.metric import GridSpace, HammingSpace
+from repro.protocol import Channel
+from repro.workloads import noisy_replica_pair
+
+
+def _hamming_setup(n=32, k=2, d=96, r1=2.0, r2=32.0, seed=0):
+    rng = np.random.default_rng(seed)
+    space = HammingSpace(d)
+    workload = noisy_replica_pair(
+        space, n=n, k=k, close_radius=int(r1), far_radius=r2 + 6, rng=rng
+    )
+    family = BitSamplingMLSH(space, w=float(d))
+    params = family.derived_lsh_params(r1=r1, r2=r2)
+    protocol = GapProtocol(space, family, params, n=n, k=k)
+    return space, workload, protocol, r2
+
+
+class TestVerifyGapGuarantee:
+    def test_trivial_cases(self):
+        space = HammingSpace(4)
+        assert verify_gap_guarantee(space, [], [(0, 0, 0, 0)], 1.0)
+        assert not verify_gap_guarantee(space, [(0, 0, 0, 0)], [], 1.0)
+
+    def test_exact_containment(self):
+        space = HammingSpace(4)
+        points = [(0, 0, 0, 0), (1, 1, 1, 1)]
+        assert verify_gap_guarantee(space, points, points, 0.0)
+
+    def test_detects_violation(self):
+        space = HammingSpace(4)
+        assert not verify_gap_guarantee(
+            space, [(1, 1, 1, 1)], [(0, 0, 0, 0)], 2.0
+        )
+
+
+class TestGapProtocolConstruction:
+    def test_threshold_formula(self):
+        space, _, protocol, _ = _hamming_setup()
+        epsilon = 1.0 - protocol.rho
+        expected = int(np.ceil(protocol.entries * (0.5 + epsilon / 6)))
+        assert protocol.match_threshold == max(1, expected)
+
+    def test_rejects_rho_one(self):
+        space = HammingSpace(64)
+        family = BitSamplingMLSH(space, w=64.0)
+        # With alpha = 1/2, r2 = 2*r1 gives p1 = p2 (rho = 1), which the
+        # LSHParams invariant already rejects.
+        with pytest.raises(ValueError):
+            family.derived_lsh_params(r1=8.0, r2=16.0)
+        # A barely-separated pair constructs fine and yields rho < 1.
+        params = family.derived_lsh_params(r1=8.0, r2=17.0)
+        protocol = GapProtocol(space, family, params, n=16, k=1)
+        assert protocol.rho < 1.0
+
+    def test_per_entry_from_p2(self):
+        space, _, protocol, _ = _hamming_setup(r2=32.0)
+        # p2 = e^{-r2/(2w)} with w = d = 96 -> m = ceil(log(1/2)/log(p2)).
+        assert protocol.per_entry >= 1
+
+    def test_expected_differences_positive(self):
+        _, _, protocol, _ = _hamming_setup()
+        assert protocol.expected_entry_differences() > 0
+
+
+class TestGapProtocolEndToEnd:
+    def test_guarantee_holds(self):
+        successes = 0
+        holds = 0
+        for seed in range(5):
+            space, workload, protocol, r2 = _hamming_setup(seed=seed)
+            result = protocol.run(
+                workload.alice, workload.bob, PublicCoins(seed)
+            )
+            if not result.success:
+                continue
+            successes += 1
+            if verify_gap_guarantee(space, workload.alice, result.bob_final, r2):
+                holds += 1
+        assert successes >= 4
+        assert holds == successes
+
+    def test_far_points_always_delivered(self):
+        for seed in range(3):
+            space, workload, protocol, r2 = _hamming_setup(seed=10 + seed)
+            result = protocol.run(workload.alice, workload.bob, PublicCoins(seed))
+            if not result.success:
+                continue
+            final = set(result.bob_final)
+            for outlier in workload.alice_far_points:
+                assert outlier in final
+
+    def test_transmitted_subset_of_alice(self, coins):
+        space, workload, protocol, _ = _hamming_setup(seed=20)
+        result = protocol.run(workload.alice, workload.bob, coins)
+        assert result.success
+        assert set(result.transmitted) <= set(workload.alice)
+
+    def test_bob_keeps_his_points(self, coins):
+        space, workload, protocol, _ = _hamming_setup(seed=21)
+        result = protocol.run(workload.alice, workload.bob, coins)
+        assert set(workload.bob) <= set(result.bob_final)
+
+    def test_four_rounds(self, coins):
+        space, workload, protocol, _ = _hamming_setup(seed=22)
+        channel = Channel()
+        result = protocol.run(workload.alice, workload.bob, coins, channel)
+        assert result.success
+        assert channel.rounds == 4
+        assert result.total_bits == channel.total_bits
+
+    def test_identical_sets_transmit_little(self, coins, rng):
+        """With S_A = S_B nothing is far; transmission should be empty."""
+        space = HammingSpace(96)
+        points = space.sample(rng, 24)
+        family = BitSamplingMLSH(space, w=96.0)
+        params = family.derived_lsh_params(r1=2.0, r2=32.0)
+        protocol = GapProtocol(space, family, params, n=24, k=1)
+        result = protocol.run(points, points, coins)
+        assert result.success
+        assert result.transmitted == []
+
+    def test_all_far_transmits_all(self, coins, rng):
+        """Disjoint random sets: every Alice point is far."""
+        space = HammingSpace(96)
+        alice = space.sample(rng, 8)
+        bob = space.sample(rng, 8)
+        family = BitSamplingMLSH(space, w=96.0)
+        params = family.derived_lsh_params(r1=2.0, r2=32.0)
+        protocol = GapProtocol(
+            space, family, params, n=8, k=8, sos_size_multiplier=6.0
+        )
+        result = protocol.run(alice, bob, coins)
+        assert result.success
+        # Random 96-bit points are ~48 apart, all far.
+        assert len(result.transmitted) == 8
+
+
+class TestLowDimensionalGap:
+    def test_entries_formula(self):
+        assert low_dim_entries(100, 0.5) >= 2
+        assert low_dim_entries(100, 0.01) <= low_dim_entries(100, 0.5)
+        with pytest.raises(ValueError):
+            low_dim_entries(100, 1.5)
+
+    def test_construction(self):
+        space = GridSpace(side=1024, dim=2, p=1.0)
+        protocol = low_dimensional_gap_protocol(space, n=32, k=2, r1=4.0, r2=64.0)
+        assert protocol.per_entry == 1
+        assert protocol.match_threshold == 1
+        assert isinstance(protocol.lsh, OneSidedGridLSH)
+
+    def test_rejects_high_dimension(self):
+        space = GridSpace(side=1024, dim=50, p=1.0)
+        with pytest.raises(ValueError):
+            low_dimensional_gap_protocol(space, n=32, k=2, r1=4.0, r2=64.0)
+
+    def test_guarantee_holds(self):
+        holds = 0
+        runs = 0
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            space = GridSpace(side=2048, dim=2, p=1.0)
+            workload = noisy_replica_pair(
+                space, n=32, k=2, close_radius=4, far_radius=96, rng=rng
+            )
+            protocol = low_dimensional_gap_protocol(
+                space, n=32, k=2, r1=4.0, r2=80.0
+            )
+            result = protocol.run(workload.alice, workload.bob, PublicCoins(seed))
+            if not result.success:
+                continue
+            runs += 1
+            if verify_gap_guarantee(space, workload.alice, result.bob_final, 80.0):
+                holds += 1
+        assert runs >= 3
+        assert holds == runs
+
+    def test_far_points_delivered(self, coins):
+        rng = np.random.default_rng(33)
+        space = GridSpace(side=2048, dim=2, p=1.0)
+        workload = noisy_replica_pair(
+            space, n=24, k=3, close_radius=4, far_radius=96, rng=rng
+        )
+        protocol = low_dimensional_gap_protocol(space, n=24, k=3, r1=4.0, r2=80.0)
+        result = protocol.run(workload.alice, workload.bob, coins)
+        assert result.success
+        final = set(result.bob_final)
+        for outlier in workload.alice_far_points:
+            assert outlier in final

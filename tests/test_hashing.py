@@ -1,0 +1,210 @@
+"""Tests for the public-coin and universal-hashing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    MERSENNE_P,
+    Checksum,
+    PairwiseHash,
+    PrefixHasher,
+    PublicCoins,
+    VectorHash,
+    derive_seed,
+    fold_to_bits,
+)
+
+
+class TestPublicCoins:
+    def test_same_seed_same_streams(self):
+        a, b = PublicCoins(7), PublicCoins(7)
+        assert a.integers("s", low=0, high=1000, size=10).tolist() == b.integers(
+            "s", low=0, high=1000, size=10
+        ).tolist()
+
+    def test_different_seed_different_streams(self):
+        a, b = PublicCoins(7), PublicCoins(8)
+        assert a.integers("s", low=0, high=1 << 40, size=8).tolist() != b.integers(
+            "s", low=0, high=1 << 40, size=8
+        ).tolist()
+
+    def test_different_labels_independent(self):
+        coins = PublicCoins(3)
+        assert coins.integers("a", low=0, high=1 << 40, size=8).tolist() != (
+            coins.integers("b", low=0, high=1 << 40, size=8).tolist()
+        )
+
+    def test_draw_order_does_not_matter(self):
+        first = PublicCoins(5)
+        x1 = first.uniform("x", size=4)
+        y1 = first.uniform("y", size=4)
+        second = PublicCoins(5)
+        y2 = second.uniform("y", size=4)
+        x2 = second.uniform("x", size=4)
+        assert np.allclose(x1, x2)
+        assert np.allclose(y1, y2)
+
+    def test_child_coins_deterministic(self):
+        a = PublicCoins(1).child("proto", 3)
+        b = PublicCoins(1).child("proto", 3)
+        assert a == b
+        assert a != PublicCoins(1).child("proto", 4)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(10, "x", 1) == derive_seed(10, "x", 1)
+        assert derive_seed(10, "x", 1) != derive_seed(10, "x", 2)
+
+    def test_equality_and_hash(self):
+        assert PublicCoins(4) == PublicCoins(4)
+        assert hash(PublicCoins(4)) == hash(PublicCoins(4))
+        assert PublicCoins(4) != PublicCoins(5)
+
+    def test_gaussians_shape(self):
+        assert PublicCoins(0).gaussians("g", size=(3, 4)).shape == (3, 4)
+
+
+class TestFoldToBits:
+    def test_wide_passthrough(self):
+        assert fold_to_bits(12345, 61) == 12345
+
+    def test_truncation(self):
+        assert fold_to_bits(0b1111, 2) == 0b11
+
+    def test_zero(self):
+        assert fold_to_bits(0, 8) == 0
+
+
+class TestPairwiseHash:
+    def test_deterministic_across_instances(self, coins):
+        h1 = PairwiseHash(coins, "t", bits=32)
+        h2 = PairwiseHash(coins, "t", bits=32)
+        for x in [0, 1, 999, MERSENNE_P - 1, MERSENNE_P + 5]:
+            assert h1(x) == h2(x)
+
+    def test_range(self, coins):
+        h = PairwiseHash(coins, "r", bits=16)
+        for x in range(100):
+            assert 0 <= h(x) < (1 << 16)
+
+    def test_distinct_labels_differ(self, coins):
+        h1 = PairwiseHash(coins, "a", bits=61)
+        h2 = PairwiseHash(coins, "b", bits=61)
+        assert any(h1(x) != h2(x) for x in range(16))
+
+    def test_hash_array_matches_scalar(self, coins):
+        h = PairwiseHash(coins, "arr", bits=48)
+        xs = np.array([0, 5, 12345, 1 << 40], dtype=np.int64)
+        assert h.hash_array(xs).tolist() == [h(int(x)) for x in xs]
+
+    def test_rejects_bad_bits(self, coins):
+        with pytest.raises(ValueError):
+            PairwiseHash(coins, "x", bits=0)
+        with pytest.raises(ValueError):
+            PairwiseHash(coins, "x", bits=62)
+
+    def test_uniformity_rough(self, coins):
+        h = PairwiseHash(coins, "u", bits=8)
+        buckets = [0] * 256
+        for x in range(10_000):
+            buckets[h(x)] += 1
+        # Each bucket expects ~39; allow generous slack.
+        assert max(buckets) < 120
+        assert min(buckets) > 5
+
+
+class TestVectorHash:
+    def test_deterministic(self, coins):
+        h1 = VectorHash(coins, "v", arity=4, bits=32)
+        h2 = VectorHash(coins, "v", arity=4, bits=32)
+        assert h1([1, 2, 3, 4]) == h2([1, 2, 3, 4])
+
+    def test_arity_enforced(self, coins):
+        h = VectorHash(coins, "v", arity=3)
+        with pytest.raises(ValueError):
+            h([1, 2])
+
+    def test_sensitive_to_position(self, coins):
+        h = VectorHash(coins, "v", arity=2, bits=61)
+        assert h([1, 2]) != h([2, 1])
+
+    def test_hash_matrix(self, coins):
+        h = VectorHash(coins, "m", arity=3, bits=40)
+        matrix = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int64)
+        assert h.hash_matrix(matrix) == [h([1, 2, 3]), h([4, 5, 6])]
+
+    def test_hash_matrix_shape_check(self, coins):
+        h = VectorHash(coins, "m", arity=3)
+        with pytest.raises(ValueError):
+            h.hash_matrix(np.zeros((2, 4), dtype=np.int64))
+
+
+class TestPrefixHasher:
+    def test_prefix_consistency(self, coins):
+        hasher = PrefixHasher(coins, "p", bits=48)
+        values = [7, 100, 3, 9, 12, 55]
+        state = hasher.initial_state()
+        digests = []
+        for value in values:
+            state = hasher.extend(state, value)
+            digests.append(hasher.digest(state))
+        for length in range(1, len(values) + 1):
+            assert hasher.hash_prefix(values, length) == digests[length - 1]
+
+    def test_prefix_digests_one_pass(self, coins):
+        hasher = PrefixHasher(coins, "p2", bits=48)
+        values = list(range(50))
+        lengths = [1, 2, 4, 8, 16, 32, 50]
+        batch = hasher.prefix_digests(values, lengths)
+        single = [hasher.hash_prefix(values, length) for length in lengths]
+        assert batch == single
+
+    def test_prefix_digests_rejects_decreasing(self, coins):
+        hasher = PrefixHasher(coins, "p3")
+        with pytest.raises(ValueError):
+            hasher.prefix_digests([1, 2, 3], [2, 1])
+
+    def test_prefix_digests_rejects_too_long(self, coins):
+        hasher = PrefixHasher(coins, "p4")
+        with pytest.raises(ValueError):
+            hasher.prefix_digests([1, 2, 3], [4])
+
+    def test_different_prefixes_differ(self, coins):
+        hasher = PrefixHasher(coins, "p5", bits=61)
+        a = hasher.hash_prefix([1, 2, 3], 3)
+        b = hasher.hash_prefix([1, 2, 4], 3)
+        assert a != b
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 61), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_extend_many_matches_loop(self, values):
+        hasher = PrefixHasher(PublicCoins(1), "hyp", bits=61)
+        state = hasher.initial_state()
+        for value in values:
+            state = hasher.extend(state, value)
+        assert hasher.extend_many(hasher.initial_state(), values) == state
+
+
+class TestChecksum:
+    def test_deterministic(self, coins):
+        c1 = Checksum(coins, "c")
+        c2 = Checksum(coins, "c")
+        assert c1(12345) == c2(12345)
+
+    def test_not_linear(self, coins):
+        """Sums of checksums must not equal checksums of sums."""
+        checksum = Checksum(coins, "lin")
+        violations = sum(
+            1
+            for a, b in [(1, 2), (3, 4), (10, 20), (100, 5)]
+            if checksum(a) + checksum(b) != checksum(a + b)
+        )
+        assert violations == 4
+
+    def test_collision_rare(self, coins):
+        checksum = Checksum(coins, "coll", bits=61)
+        values = {checksum(x) for x in range(5000)}
+        assert len(values) == 5000

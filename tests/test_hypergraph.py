@@ -1,0 +1,133 @@
+"""Tests for the random-hypergraph analysis (Lemma B.3, Theorem 2.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iblt import (
+    classify_component,
+    component_census,
+    components,
+    molloy_threshold,
+    peel_order,
+    random_hypergraph,
+    riblt_sparsity_threshold,
+    two_core,
+)
+from repro.iblt.hypergraph import Component
+
+
+class TestRandomHypergraph:
+    def test_shape(self, rng):
+        edges = random_hypergraph(50, 20, 3, rng)
+        assert len(edges) == 20
+        for edge in edges:
+            assert len(edge) == 3
+            assert len(set(edge)) == 3
+            assert all(0 <= v < 50 for v in edge)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            random_hypergraph(2, 5, 3, rng)
+        with pytest.raises(ValueError):
+            random_hypergraph(10, 5, 1, rng)
+
+
+class TestTwoCore:
+    def test_single_edge_peels(self):
+        assert two_core(5, [(0, 1, 2)]) == []
+
+    def test_path_of_edges_peels(self):
+        edges = [(0, 1, 2), (2, 3, 4), (4, 5, 6)]
+        assert two_core(7, edges) == []
+
+    def test_doubled_edge_sticks(self):
+        """Two edges over the same 3 vertices: every vertex has degree 2."""
+        edges = [(0, 1, 2), (0, 1, 2)]
+        assert two_core(3, edges) == [0, 1]
+
+    def test_sparse_random_usually_empty(self):
+        rng = np.random.default_rng(0)
+        empty = 0
+        for _ in range(20):
+            edges = random_hypergraph(300, 120, 3, rng)  # load 0.4 < c*_3
+            if not two_core(300, edges):
+                empty += 1
+        assert empty >= 18
+
+    def test_dense_random_usually_nonempty(self):
+        rng = np.random.default_rng(1)
+        nonempty = 0
+        for _ in range(20):
+            edges = random_hypergraph(300, 290, 3, rng)  # load ~0.97 > c*_3
+            if two_core(300, edges):
+                nonempty += 1
+        assert nonempty >= 18
+
+    def test_peel_order_is_complete_when_core_empty(self):
+        rng = np.random.default_rng(2)
+        edges = random_hypergraph(100, 30, 3, rng)
+        core = two_core(100, edges)
+        order = peel_order(100, edges)
+        assert sorted(order + core) == list(range(30))
+
+
+class TestComponents:
+    def test_two_separate_edges(self):
+        result = components(10, [(0, 1, 2), (5, 6, 7)])
+        assert len(result) == 2
+        assert {frozenset(c.vertices) for c in result} == {
+            frozenset({0, 1, 2}),
+            frozenset({5, 6, 7}),
+        }
+
+    def test_chained_edges_one_component(self):
+        result = components(10, [(0, 1, 2), (2, 3, 4)])
+        assert len(result) == 1
+        assert result[0].order == 5
+        assert result[0].size == 2
+
+    def test_classification(self):
+        tree = Component(frozenset({0, 1, 2}), (0,))
+        assert classify_component(tree, q=3) == "tree"
+        # Two edges, 3 vertices: excess = 2*2 - 2 = 2 -> complex.
+        doubled = Component(frozenset({0, 1, 2}), (0, 1))
+        assert classify_component(doubled, q=3) == "complex"
+        # Two edges sharing 2 vertices: 4 vertices, excess = 4 - 3 = 1.
+        unicyclic = Component(frozenset({0, 1, 2, 3}), (0, 1))
+        assert classify_component(unicyclic, q=3) == "unicyclic"
+
+    def test_census_below_riblt_threshold(self):
+        """Lemma B.3: below 1/(q(q-1)) everything is a tree or unicyclic."""
+        rng = np.random.default_rng(3)
+        q = 3
+        c = 0.8 * riblt_sparsity_threshold(q)
+        complex_count = 0
+        for _ in range(10):
+            m = 400
+            edges = random_hypergraph(m, round(c * m), q, rng)
+            census = component_census(m, edges, q)
+            complex_count += census["complex"]
+        assert complex_count <= 1  # w.h.p. zero; allow a single fluke
+
+
+class TestThresholds:
+    def test_molloy_known_values(self):
+        # Known: c*_3 ~ 0.818, c*_4 ~ 0.772 (Molloy 2004).
+        assert molloy_threshold(3) == pytest.approx(0.818, abs=0.005)
+        assert molloy_threshold(4) == pytest.approx(0.772, abs=0.005)
+
+    def test_riblt_threshold(self):
+        assert riblt_sparsity_threshold(3) == pytest.approx(1 / 6)
+        assert riblt_sparsity_threshold(4) == pytest.approx(1 / 12)
+
+    def test_riblt_threshold_below_molloy(self):
+        for q in (3, 4, 5):
+            assert riblt_sparsity_threshold(q) < molloy_threshold(q)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            molloy_threshold(2)
+        with pytest.raises(ValueError):
+            riblt_sparsity_threshold(1)

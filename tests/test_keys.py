@@ -1,0 +1,236 @@
+"""Tests for the key builders (Algorithm 1 prefixes, Gap batch keys)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import PublicCoins
+from repro.lsh import (
+    BatchKeyBuilder,
+    BitSamplingMLSH,
+    PrefixKeyBuilder,
+    key_bits_for,
+)
+from repro.metric import HammingSpace
+
+
+@pytest.fixture
+def family():
+    return BitSamplingMLSH(HammingSpace(16), w=32)
+
+
+class TestKeyBitsFor:
+    def test_grows_with_n(self):
+        assert key_bits_for(10) <= key_bits_for(10_000)
+
+    def test_bounds(self):
+        assert 16 <= key_bits_for(1) <= 61
+        assert key_bits_for(1 << 40) == 61
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            key_bits_for(0)
+
+
+class TestPrefixKeyBuilder:
+    def _builder(self, coins, family, lengths=(1, 2, 4, 8)):
+        batch = family.sample_batch(coins, "b", max(lengths))
+        return PrefixKeyBuilder(batch, lengths, coins, "k", key_bits=32)
+
+    def test_shape(self, coins, family, rng):
+        builder = self._builder(coins, family)
+        points = HammingSpace(16).sample(rng, 5)
+        keys = builder.keys_for(points)
+        assert keys.shape == (5, 4)
+
+    def test_empty_points(self, coins, family):
+        builder = self._builder(coins, family)
+        assert builder.keys_for([]).shape == (0, 4)
+
+    def test_shared_between_parties(self, family, rng):
+        points = HammingSpace(16).sample(rng, 4)
+        batch_a = family.sample_batch(PublicCoins(1), "s", 8)
+        builder_a = PrefixKeyBuilder(batch_a, (2, 8), PublicCoins(1), "k", 32)
+        batch_b = family.sample_batch(PublicCoins(1), "s", 8)
+        builder_b = PrefixKeyBuilder(batch_b, (2, 8), PublicCoins(1), "k", 32)
+        assert (builder_a.keys_for(points) == builder_b.keys_for(points)).all()
+
+    def test_identical_points_identical_keys(self, coins, family):
+        builder = self._builder(coins, family)
+        point = (0, 1) * 8
+        keys = builder.keys_for([point, point])
+        assert (keys[0] == keys[1]).all()
+
+    def test_matches_from_scratch_hash(self, coins, family, rng):
+        """Level keys must equal hashing the explicit MLSH prefix."""
+        lengths = (1, 3, 7)
+        batch = family.sample_batch(coins, "m", 7)
+        builder = PrefixKeyBuilder(batch, lengths, coins, "k2", key_bits=40)
+        points = HammingSpace(16).sample(rng, 3)
+        values = batch.evaluate(points)
+        keys = builder.keys_for(points)
+        for row in range(3):
+            for level, length in enumerate(lengths):
+                expected = builder.hasher.hash_prefix(values[row].tolist(), length)
+                assert keys[row, level] == expected
+
+    def test_rejects_decreasing_lengths(self, coins, family):
+        batch = family.sample_batch(coins, "r", 8)
+        with pytest.raises(ValueError):
+            PrefixKeyBuilder(batch, (4, 2), coins, "k", 32)
+
+    def test_rejects_too_long_prefix(self, coins, family):
+        batch = family.sample_batch(coins, "r2", 4)
+        with pytest.raises(ValueError):
+            PrefixKeyBuilder(batch, (2, 8), coins, "k", 32)
+
+    def test_rejects_empty_lengths(self, coins, family):
+        batch = family.sample_batch(coins, "r3", 4)
+        with pytest.raises(ValueError):
+            PrefixKeyBuilder(batch, (), coins, "k", 32)
+
+
+class TestBatchKeyBuilder:
+    def _builder(self, coins, family, entries=4, per_entry=3):
+        batch = family.sample_batch(coins, "g", entries * per_entry)
+        return BatchKeyBuilder(
+            batch, entries=entries, per_entry=per_entry, coins=coins,
+            label="gk", key_bits=32,
+        )
+
+    def test_key_length(self, coins, family, rng):
+        builder = self._builder(coins, family)
+        keys = builder.keys_for(HammingSpace(16).sample(rng, 6))
+        assert len(keys) == 6
+        assert all(len(key) == 4 for key in keys)
+
+    def test_empty(self, coins, family):
+        assert self._builder(coins, family).keys_for([]) == []
+
+    def test_shared_between_parties(self, family, rng):
+        points = HammingSpace(16).sample(rng, 4)
+
+        def build(seed):
+            coins = PublicCoins(seed)
+            batch = family.sample_batch(coins, "g", 12)
+            return BatchKeyBuilder(
+                batch, entries=4, per_entry=3, coins=coins, label="gk", key_bits=32
+            ).keys_for(points)
+
+        assert build(42) == build(42)
+
+    def test_identical_points_full_match(self, coins, family):
+        builder = self._builder(coins, family)
+        point = (1, 0) * 8
+        keys = builder.keys_for([point, point])
+        assert BatchKeyBuilder.matches(keys[0], keys[1]) == 4
+
+    def test_matches_counts(self):
+        assert BatchKeyBuilder.matches((1, 2, 3), (1, 9, 3)) == 2
+        assert BatchKeyBuilder.matches((1, 2), (3, 4)) == 0
+
+    def test_matches_length_check(self):
+        with pytest.raises(ValueError):
+            BatchKeyBuilder.matches((1, 2), (1, 2, 3))
+
+    def test_batch_size_must_factor(self, coins, family):
+        batch = family.sample_batch(coins, "f", 10)
+        with pytest.raises(ValueError):
+            BatchKeyBuilder(
+                batch, entries=4, per_entry=3, coins=coins, label="x", key_bits=32
+            )
+
+    def test_far_points_rarely_match(self, coins, rng):
+        space = HammingSpace(64)
+        family = BitSamplingMLSH(space, w=64)
+        batch = family.sample_batch(coins, "far", 40)
+        builder = BatchKeyBuilder(
+            batch, entries=10, per_entry=4, coins=coins, label="fk", key_bits=32
+        )
+        zero = tuple([0] * 64)
+        far = tuple([1] * 64)
+        keys = builder.keys_for([zero, far])
+        # Each entry matches iff all 4 sampled bits agree; distance = d so
+        # entries should essentially never match.
+        assert BatchKeyBuilder.matches(keys[0], keys[1]) <= 1
+
+
+class TestVectorizedPrefixKeyBuilder:
+    def _builders(self, family, lengths=(1, 2, 4, 8)):
+        from repro.lsh import VectorizedPrefixKeyBuilder
+
+        coins = PublicCoins(77)
+        batch = family.sample_batch(coins, "v", max(lengths))
+        return VectorizedPrefixKeyBuilder(batch, lengths, coins, "vk")
+
+    def test_shape_and_range(self, family, rng):
+        builder = self._builders(family)
+        keys = builder.keys_for(HammingSpace(16).sample(rng, 6))
+        assert keys.shape == (6, 4)
+        for key in keys.flat:
+            assert 0 <= int(key) < (1 << builder.key_bits)
+
+    def test_empty(self, family):
+        assert self._builders(family).keys_for([]).shape == (0, 4)
+
+    def test_shared_between_parties(self, family, rng):
+        from repro.lsh import VectorizedPrefixKeyBuilder
+
+        points = HammingSpace(16).sample(rng, 5)
+
+        def build(seed):
+            coins = PublicCoins(seed)
+            batch = family.sample_batch(coins, "v", 8)
+            return VectorizedPrefixKeyBuilder(batch, (2, 8), coins, "vk").keys_for(points)
+
+        assert (build(9) == build(9)).all()
+
+    def test_identical_points_identical_keys(self, family):
+        builder = self._builders(family)
+        point = (0, 1) * 8
+        keys = builder.keys_for([point, point])
+        assert (keys[0] == keys[1]).all()
+
+    def test_distinct_levels_distinct_keys(self, family, rng):
+        builder = self._builders(family)
+        keys = builder.keys_for(HammingSpace(16).sample(rng, 3))
+        for row in keys:
+            assert len({int(v) for v in row}) > 1
+
+    def test_rejects_bad_lengths(self, family):
+        from repro.lsh import VectorizedPrefixKeyBuilder
+
+        coins = PublicCoins(1)
+        batch = family.sample_batch(coins, "v", 4)
+        with pytest.raises(ValueError):
+            VectorizedPrefixKeyBuilder(batch, (4, 2), coins, "vk")
+        with pytest.raises(ValueError):
+            VectorizedPrefixKeyBuilder(batch, (), coins, "vk")
+        with pytest.raises(ValueError):
+            VectorizedPrefixKeyBuilder(batch, (8,), coins, "vk")
+
+
+class TestFastVsSlowEMDProtocol:
+    def test_both_backends_run_and_agree_on_success(self, rng):
+        import numpy as np
+
+        from repro.core import EMDProtocol
+        from repro.metric import HammingSpace, emd
+        from repro.workloads import noisy_replica_pair
+
+        space = HammingSpace(48)
+        workload = noisy_replica_pair(
+            space, n=12, k=1, close_radius=1, far_radius=16,
+            rng=np.random.default_rng(0),
+        )
+        results = {}
+        for fast in (True, False):
+            protocol = EMDProtocol.for_instance(space, n=12, k=1, fast_keys=fast)
+            results[fast] = protocol.run(
+                workload.alice, workload.bob, PublicCoins(5)
+            )
+        assert results[True].success and results[False].success
+        # Different hash families -> possibly different decodes, but both
+        # must deliver valid same-size outputs.
+        assert len(results[True].bob_final) == len(results[False].bob_final) == 12

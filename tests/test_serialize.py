@@ -1,0 +1,189 @@
+"""Tests for bit-level serialization and the measured channel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric import GridSpace, HammingSpace
+from repro.protocol import (
+    ALICE,
+    BOB,
+    BitReader,
+    BitWriter,
+    Channel,
+    coordinate_bits,
+    read_point,
+    read_points,
+    write_point,
+    write_points,
+)
+
+
+class TestBitWriterReader:
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1, 0):
+            writer.write_bit(bit)
+        assert writer.bit_length == 5
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_uint_roundtrip(self):
+        writer = BitWriter()
+        writer.write_uint(0b10110, 5)
+        writer.write_uint(7, 3)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uint(5) == 0b10110
+        assert reader.read_uint(3) == 7
+
+    def test_uint_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(8, 3)
+        with pytest.raises(ValueError):
+            writer.write_uint(-1, 3)
+
+    def test_zero_width_uint(self):
+        writer = BitWriter()
+        writer.write_uint(0, 0)
+        assert writer.bit_length == 0
+
+    def test_varuint_small_values_cheap(self):
+        writer = BitWriter()
+        writer.write_varuint(0)
+        assert writer.bit_length == 8
+
+    def test_varint_zigzag(self):
+        writer = BitWriter()
+        for value in (0, -1, 1, -2, 2, -1000, 1000):
+            writer.write_varint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_varint() for _ in range(7)] == [0, -1, 1, -2, 2, -1000, 1000]
+
+    def test_bool_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bool(True)
+        writer.write_bool(False)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bool() is True
+        assert reader.read_bool() is False
+
+    def test_eof(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\xff")
+        assert reader.bits_remaining == 8
+        reader.read_uint(3)
+        assert reader.bits_remaining == 5
+
+    def test_negative_varuint_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_varuint(-5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 128), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_varuint_roundtrip_property(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_varuint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_varuint() for _ in values] == values
+
+    @given(st.lists(st.integers(min_value=-(1 << 100), max_value=1 << 100), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_varint_roundtrip_property(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_varint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_varint() for _ in values] == values
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=(1 << 16) - 1),
+                      st.integers(min_value=1, max_value=16)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_uint_roundtrip_property(self, pairs):
+        pairs = [(value & ((1 << bits) - 1), bits) for value, bits in pairs]
+        writer = BitWriter()
+        for value, bits in pairs:
+            writer.write_uint(value, bits)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_uint(bits) for _, bits in pairs] == [v for v, _ in pairs]
+
+
+class TestPointSerialization:
+    def test_coordinate_bits(self):
+        assert coordinate_bits(HammingSpace(10)) == 1
+        assert coordinate_bits(GridSpace(side=256, dim=2)) == 8
+        assert coordinate_bits(GridSpace(side=200, dim=2)) == 8
+
+    def test_hamming_point_costs_d_bits(self):
+        space = HammingSpace(13)
+        writer = BitWriter()
+        write_point(writer, space, tuple([1] * 13))
+        assert writer.bit_length == 13
+
+    def test_point_roundtrip(self, rng):
+        space = GridSpace(side=100, dim=5, p=2.0)
+        point = space.sample(rng, 1)[0]
+        writer = BitWriter()
+        write_point(writer, space, point)
+        assert read_point(BitReader(writer.getvalue()), space) == point
+
+    def test_points_roundtrip(self, rng):
+        space = HammingSpace(9)
+        points = space.sample(rng, 7)
+        writer = BitWriter()
+        write_points(writer, space, points)
+        assert read_points(BitReader(writer.getvalue()), space) == points
+
+    def test_empty_points(self):
+        space = HammingSpace(4)
+        writer = BitWriter()
+        write_points(writer, space, [])
+        assert read_points(BitReader(writer.getvalue()), space) == []
+
+    def test_dimension_check(self):
+        space = HammingSpace(4)
+        with pytest.raises(ValueError):
+            write_point(BitWriter(), space, (1, 0))
+
+
+class TestChannel:
+    def test_accounting(self):
+        channel = Channel()
+        channel.send(ALICE, "m1", b"\xff\xff", 16)
+        channel.send(BOB, "m2", b"\x01", 3)
+        assert channel.total_bits == 19
+        assert channel.rounds == 2
+        summary = channel.summary()
+        assert summary.by_sender == {"alice": 16, "bob": 3}
+        assert summary.by_label == {"m1": 16, "m2": 3}
+        assert summary.total_bytes == pytest.approx(19 / 8)
+
+    def test_default_bits_is_payload_size(self):
+        channel = Channel()
+        channel.send(ALICE, "m", b"abc")
+        assert channel.total_bits == 24
+
+    def test_declared_bits_cannot_exceed_payload(self):
+        channel = Channel()
+        with pytest.raises(ValueError):
+            channel.send(ALICE, "m", b"a", 9)
+
+    def test_unknown_sender_rejected(self):
+        with pytest.raises(ValueError):
+            Channel().send("carol", "m", b"")
+
+    def test_send_returns_payload(self):
+        channel = Channel()
+        assert channel.send(ALICE, "m", b"xyz") == b"xyz"

@@ -1,0 +1,171 @@
+"""Tests for the multiset-of-sets reconciliation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import PublicCoins
+from repro.protocol import Channel
+from repro.setsofsets import SetsOfSetsReconciler
+
+
+def _reconciler(coins, h=8, entry_bits=20, expected=64, **kwargs):
+    return SetsOfSetsReconciler(
+        coins, "t", entries=h, entry_bits=entry_bits,
+        expected_differences=expected, **kwargs,
+    )
+
+
+def _random_keys(rng, count, h=8, bits=20):
+    return [
+        tuple(int(v) for v in rng.integers(0, 1 << bits, size=h))
+        for _ in range(count)
+    ]
+
+
+class TestExactRecovery:
+    def test_identical_collections(self, coins, rng):
+        keys = _random_keys(rng, 15)
+        result = _reconciler(coins).run(keys, keys, Channel())
+        assert result.success
+        assert result.recovered == {}
+        assert sorted(result.shared_alice_keys) == sorted(set(keys))
+        assert result.unresolved == 0
+
+    def test_bob_extra_far_key(self, coins, rng):
+        alice = _random_keys(rng, 10)
+        extra = tuple(int(v) for v in rng.integers(0, 1 << 20, size=8))
+        bob = alice + [extra]
+        result = _reconciler(coins).run(alice, bob, Channel())
+        assert result.success
+        assert extra in result.recovered
+        assert result.recovered[extra] == 1
+
+    def test_bob_modified_key_patched(self, coins, rng):
+        alice = _random_keys(rng, 10)
+        modified = list(alice[0])
+        modified[3] ^= 0xFFFF
+        bob = [tuple(modified)] + alice[1:]
+        result = _reconciler(coins).run(alice, bob, Channel())
+        assert result.success
+        assert tuple(modified) in result.recovered
+        assert alice[0] not in result.shared_alice_keys
+
+    def test_view_covers_bob_multiset(self, coins, rng):
+        alice = _random_keys(rng, 20)
+        bob = list(alice)
+        for index in (0, 3, 7):
+            modified = list(bob[index])
+            modified[index % 8] ^= 0x1234
+            bob[index] = tuple(modified)
+        bob.append(_random_keys(rng, 1)[0])
+        result = _reconciler(coins, expected=128).run(alice, bob, Channel())
+        assert result.success
+        view = set(result.bob_key_view)
+        assert set(bob) <= view
+
+    def test_multiplicities(self, coins, rng):
+        alice = _random_keys(rng, 6)
+        duplicate = _random_keys(rng, 1)[0]
+        bob = alice + [duplicate, duplicate, duplicate]
+        result = _reconciler(coins).run(alice, bob, Channel())
+        assert result.success
+        assert result.recovered[duplicate] == 3
+
+    def test_alice_only_key_not_shared(self, coins, rng):
+        alice = _random_keys(rng, 10)
+        bob = alice[:-1]  # Bob lacks Alice's last key
+        result = _reconciler(coins).run(alice, bob, Channel())
+        assert result.success
+        assert alice[-1] not in result.shared_alice_keys
+
+    def test_empty_sides(self, coins, rng):
+        keys = _random_keys(rng, 5)
+        result = _reconciler(coins).run([], keys, Channel())
+        assert result.success
+        assert sum(result.recovered.values()) == 5
+        result2 = _reconciler(coins).run(keys, [], Channel())
+        assert result2.success
+        assert result2.recovered == {}
+        assert result2.shared_alice_keys == []
+
+
+class TestFailureModes:
+    def test_undersized_iblt_reports_failure(self, coins, rng):
+        alice = _random_keys(rng, 40)
+        bob = _random_keys(rng, 40)  # everything differs
+        result = _reconciler(coins, expected=2, size_multiplier=1.0).run(
+            alice, bob, Channel()
+        )
+        assert not result.success
+
+    def test_unresolved_is_safe_direction(self, coins, rng):
+        """Unresolved keys may only add to Alice's transmissions; the
+        recovered dict must never contain a key Bob does not hold."""
+        alice = _random_keys(rng, 15, bits=6)  # tiny value space -> masking
+        bob = [list(key) for key in alice]
+        for index in range(5):
+            bob[index][index % 8] = (bob[index][index % 8] + 1) % 64
+        bob = [tuple(key) for key in bob]
+        result = _reconciler(coins, entry_bits=6, expected=256).run(
+            alice, bob, Channel()
+        )
+        if result.success:
+            for key in result.recovered:
+                assert key in bob
+
+
+class TestCommunication:
+    def test_rounds(self, coins, rng):
+        keys = _random_keys(rng, 10)
+        channel = Channel()
+        _reconciler(coins).run(keys, keys, channel)
+        assert channel.rounds == 3
+
+    def test_cost_scales_with_difference_not_n(self, rng):
+        """The defining property vs. shipping all keys."""
+        small_n = _random_keys(rng, 10)
+        big_n = _random_keys(rng, 200)
+
+        channel_small = Channel()
+        _reconciler(PublicCoins(1)).run(small_n, small_n, channel_small)
+        channel_big = Channel()
+        _reconciler(PublicCoins(1)).run(big_n, big_n, channel_big)
+        # Identical collections: cost driven by the (fixed) table size,
+        # up to the varint log-factor from larger per-cell sums.  A 20x
+        # larger n must cost far less than 20x the bits (and far less
+        # than shipping all keys verbatim).
+        assert channel_big.total_bits < 2 * channel_small.total_bits
+        naive_bits = 200 * 8 * 20  # n * h * entry_bits
+        assert channel_big.total_bits < 1.5 * naive_bits
+
+    def test_verbatim_for_far_keys(self, coins, rng):
+        """A completely different key is shipped verbatim, not patched."""
+        alice = _random_keys(rng, 5)
+        far = _random_keys(rng, 1)[0]
+        bob = alice + [far]
+        result = _reconciler(coins).run(alice, bob, Channel())
+        assert result.success
+        assert far in result.recovered
+        assert result.unresolved == 0
+
+
+class TestValidation:
+    def test_rejects_bad_entry_bits(self, coins):
+        with pytest.raises(ValueError):
+            SetsOfSetsReconciler(coins, "x", entries=4, entry_bits=0,
+                                 expected_differences=8)
+        with pytest.raises(ValueError):
+            SetsOfSetsReconciler(coins, "x", entries=4, entry_bits=60,
+                                 expected_differences=8)
+
+    def test_rejects_wrong_key_length(self, coins, rng):
+        reconciler = _reconciler(coins)
+        with pytest.raises(ValueError):
+            reconciler.run([(1, 2, 3)], [], Channel())
+
+    def test_rejects_out_of_range_entry(self, coins):
+        reconciler = _reconciler(coins, entry_bits=4)
+        with pytest.raises(ValueError):
+            reconciler.run([tuple([16] * 8)], [], Channel())

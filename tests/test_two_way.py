@@ -1,0 +1,137 @@
+"""Tests for two-way reconciliation and retry wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EMDProtocol,
+    GapProtocol,
+    retries_for_confidence,
+    run_emd_with_retries,
+    run_gap_with_retries,
+    two_way_emd,
+    two_way_gap,
+    verify_gap_guarantee,
+)
+from repro.hashing import PublicCoins
+from repro.lsh import BitSamplingMLSH
+from repro.metric import HammingSpace, emd
+from repro.protocol import Channel
+from repro.workloads import noisy_replica_pair
+
+
+class TestRetriesForConfidence:
+    def test_single_attempt_when_already_good(self):
+        assert retries_for_confidence(0.001, 0.01) == 1
+
+    def test_paper_failure_rate(self):
+        # 1/8 per-run failure, want 1e-6: (1/8)^t <= 1e-6 -> t = 7.
+        assert retries_for_confidence(1 / 8, 1e-6) == 7
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            retries_for_confidence(0.0, 0.1)
+        with pytest.raises(ValueError):
+            retries_for_confidence(0.5, 1.5)
+
+
+def _workload(seed, n=20, k=2):
+    rng = np.random.default_rng(seed)
+    space = HammingSpace(64)
+    wl = noisy_replica_pair(space, n=n, k=k, close_radius=1, far_radius=20, rng=rng)
+    return space, wl
+
+
+class TestEMDRetries:
+    def test_successful_first_attempt(self):
+        space, wl = _workload(0)
+        protocol = EMDProtocol.for_instance(space, n=20, k=2)
+        channel = Channel()
+        result = run_emd_with_retries(
+            protocol, wl.alice, wl.bob, PublicCoins(0), attempts=3, channel=channel
+        )
+        assert result.success
+        assert result.total_bits == channel.total_bits
+
+    def test_retry_recovers_from_forced_failure(self, rng):
+        """With D2 too small the protocol fails every attempt — the
+        wrapper must report that honestly after exhausting attempts."""
+        space = HammingSpace(64)
+        alice = space.sample(rng, 16)
+        bob = space.sample(rng, 16)
+        protocol = EMDProtocol.for_instance(space, n=16, k=1, d1=1.0, d2=2.0)
+        result = run_emd_with_retries(
+            protocol, alice, bob, PublicCoins(1), attempts=2
+        )
+        assert not result.success
+        assert result.bob_final == bob
+
+    def test_rejects_zero_attempts(self):
+        space, wl = _workload(1)
+        protocol = EMDProtocol.for_instance(space, n=20, k=2)
+        with pytest.raises(ValueError):
+            run_emd_with_retries(protocol, wl.alice, wl.bob, PublicCoins(2), attempts=0)
+
+
+class TestTwoWayEMD:
+    def test_both_directions_improve(self):
+        space, wl = _workload(3)
+        protocol = EMDProtocol.for_instance(space, n=20, k=2)
+        result = two_way_emd(protocol, wl.alice, wl.bob, PublicCoins(3))
+        assert result.success
+        assert len(result.alice_final) == 20
+        assert len(result.bob_final) == 20
+        # Bob's final approximates Alice's set and vice versa.
+        assert emd(space, wl.alice, result.bob_final) <= emd(space, wl.alice, wl.bob)
+        assert emd(space, wl.bob, result.alice_final) <= emd(space, wl.bob, wl.alice)
+
+    def test_final_sets_may_differ(self):
+        """Section 1: two-way robust reconciliation does not converge to
+        a common set — document the behaviour."""
+        space, wl = _workload(4)
+        protocol = EMDProtocol.for_instance(space, n=20, k=2)
+        result = two_way_emd(protocol, wl.alice, wl.bob, PublicCoins(4))
+        assert result.success
+        # (Not asserting inequality strictly — just that both are valid
+        # n-point sets; equality would be a coincidence.)
+        assert len(set(result.alice_final)) > 0
+        assert len(set(result.bob_final)) > 0
+
+
+class TestTwoWayGap:
+    def _protocol(self, n, k):
+        space = HammingSpace(96)
+        family = BitSamplingMLSH(space, w=96.0)
+        params = family.derived_lsh_params(r1=2.0, r2=32.0)
+        return space, GapProtocol(space, family, params, n=n, k=k)
+
+    def test_both_guarantees(self):
+        rng = np.random.default_rng(5)
+        space, protocol = self._protocol(24, 2)
+        wl = noisy_replica_pair(
+            space, n=24, k=2, close_radius=2, far_radius=40, rng=rng
+        )
+        result = two_way_gap(protocol, wl.alice, wl.bob, PublicCoins(5))
+        assert result.success
+        assert verify_gap_guarantee(space, wl.alice, result.bob_final, 32.0)
+        assert verify_gap_guarantee(space, wl.bob, result.alice_final, 32.0)
+
+    def test_gap_retry_channel_accumulates(self):
+        rng = np.random.default_rng(6)
+        space, protocol = self._protocol(16, 1)
+        wl = noisy_replica_pair(
+            space, n=16, k=1, close_radius=2, far_radius=40, rng=rng
+        )
+        channel = Channel()
+        result = run_gap_with_retries(
+            protocol, wl.alice, wl.bob, PublicCoins(6), attempts=2, channel=channel
+        )
+        assert result.success
+        assert result.total_bits == channel.total_bits
+
+    def test_rejects_zero_attempts(self):
+        space, protocol = self._protocol(16, 1)
+        with pytest.raises(ValueError):
+            run_gap_with_retries(protocol, [], [], PublicCoins(7), attempts=0)
