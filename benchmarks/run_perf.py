@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Tracked performance baseline for the vectorised hot path.
+
+Measures the numpy backend against the pure-Python reference on the
+kernels every protocol in this repo funnels through — batch key hashing
+over the Mersenne field, prefix-key construction, and IBLT build /
+subtract+decode — and writes the timings to ``BENCH_core.json`` so later
+PRs have a trajectory to beat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py            # full (n = 10^5)
+    PYTHONPATH=src python benchmarks/run_perf.py --quick    # CI smoke (n = 2·10^4)
+    PYTHONPATH=src python benchmarks/run_perf.py --quick \
+        --compare benchmarks/BENCH_core.json                # regression gate
+
+The regression gate compares *speedups* (numpy vs python on the same
+machine in the same run), not absolute times, so it is robust to slow CI
+hosts: it fails when any kernel's measured speedup drops below half of
+the committed baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.hashing import Checksum, PairwiseHash, PrefixHasher, PublicCoins
+from repro.iblt import IBLT, cells_for_differences
+
+FULL_N = 100_000
+QUICK_N = 20_000
+#: Differences decoded in the IBLT kernel (table sized for this, so the
+#: decode load sits at the realistic ~0.5 of cells_for_differences).
+DIFF_FRACTION = 0.01
+
+REGRESSION_FACTOR = 2.0
+
+
+def _best(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_pairwise_hash(coins: PublicCoins, n: int, repeats: int) -> tuple[float, float]:
+    """One pairwise hash + one checksum per key — the per-key IBLT hash cost."""
+    rng = np.random.default_rng(0xA11CE)
+    keys = rng.integers(0, 1 << 61, size=n, dtype=np.int64).astype(np.uint64)
+    pairwise = PairwiseHash(coins, "bench-pairwise", bits=61)
+    checksum = Checksum(coins, "bench-checksum", bits=61)
+    key_list = keys.tolist()
+
+    def python_path():
+        return [pairwise(key) for key in key_list], [checksum(key) for key in key_list]
+
+    def numpy_path():
+        return pairwise.hash_array(keys), checksum.hash_array(keys)
+
+    numpy_path()  # warm up
+    return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
+
+
+def bench_prefix_keys(coins: PublicCoins, n: int, repeats: int) -> tuple[float, float]:
+    """Multi-resolution prefix keys (Algorithm 1's key builder) per point."""
+    rng = np.random.default_rng(0xB0B)
+    rows = max(1, n // 10)
+    values = rng.integers(0, 1 << 60, size=(rows, 32), dtype=np.int64)
+    lengths = [1, 2, 4, 8, 16, 32]
+    hasher = PrefixHasher(coins, "bench-prefix", bits=60)
+    value_lists = values.tolist()
+
+    def python_path():
+        return [hasher.prefix_digests(row, lengths) for row in value_lists]
+
+    def numpy_path():
+        return hasher.prefix_digests_many(values, lengths)
+
+    numpy_path()
+    return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
+
+
+def _iblt_inputs(n: int) -> tuple[np.ndarray, np.ndarray, int]:
+    rng = np.random.default_rng(0x5EED)
+    differences = max(16, int(n * DIFF_FRACTION))
+    universe = rng.choice(1 << 55, size=n + differences, replace=False)
+    alice = universe[:n]
+    bob = np.concatenate([universe[differences:n], universe[n:]])
+    return alice.astype(np.uint64), bob.astype(np.uint64), differences
+
+
+def bench_iblt(
+    coins: PublicCoins, n: int, repeats: int
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """IBLT build (two tables of n keys) and subtract+decode, per backend."""
+    alice, bob, differences = _iblt_inputs(n)
+    cells = cells_for_differences(2 * differences)
+
+    def build(backend: str) -> tuple[IBLT, IBLT]:
+        table_a = IBLT(coins, "bench-iblt", cells=cells, q=3, key_bits=55, backend=backend)
+        table_b = IBLT(coins, "bench-iblt", cells=cells, q=3, key_bits=55, backend=backend)
+        if backend == "numpy":
+            table_a.insert_batch(alice)
+            table_b.insert_batch(bob)
+        else:
+            table_a.insert_all(alice.tolist())
+            table_b.insert_all(bob.tolist())
+        return table_a, table_b
+
+    def decode(tables: tuple[IBLT, IBLT]) -> None:
+        table_a, table_b = tables
+        result = table_b.subtract(table_a).decode()
+        assert result.success and result.difference_count == 2 * differences
+
+    build_times = {}
+    decode_times = {}
+    for backend, backend_repeats in (("python", max(2, repeats // 2)), ("numpy", repeats)):
+        build(backend)  # warm up
+        build_times[backend] = _best(lambda: build(backend), backend_repeats)
+        tables = build(backend)
+        decode_times[backend] = _best(lambda: decode(tables), backend_repeats)
+    return (
+        (build_times["python"], build_times["numpy"]),
+        (decode_times["python"], decode_times["numpy"]),
+    )
+
+
+def run(n: int, repeats: int, quick: bool) -> dict:
+    coins = PublicCoins(2019)
+    results: dict[str, dict[str, float]] = {}
+
+    def record(name: str, python_s: float, numpy_s: float) -> None:
+        results[name] = {
+            "python_s": round(python_s, 6),
+            "numpy_s": round(numpy_s, 6),
+            "speedup": round(python_s / numpy_s, 2),
+        }
+
+    record("pairwise_hash", *bench_pairwise_hash(coins, n, repeats))
+    record("prefix_keys", *bench_prefix_keys(coins, n, repeats))
+    (build_py, build_np), (decode_py, decode_np) = bench_iblt(coins, n, repeats)
+    record("iblt_build", build_py, build_np)
+    record("iblt_decode", decode_py, decode_np)
+    record("iblt_build_decode", build_py + decode_py, build_np + decode_np)
+
+    return {
+        "meta": {
+            "n": n,
+            "quick": quick,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def compare(report: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    baseline_n = baseline.get("meta", {}).get("n")
+    if baseline_n != report["meta"]["n"]:
+        print(
+            f"FAIL: baseline was measured at n={baseline_n} but this run used "
+            f"n={report['meta']['n']}; speedups are only comparable at equal n "
+            f"(rerun with --n {baseline_n})"
+        )
+        return 1
+    failures = []
+    for name, entry in baseline.get("results", {}).items():
+        if name not in report["results"]:
+            continue
+        floor = entry["speedup"] / REGRESSION_FACTOR
+        measured = report["results"][name]["speedup"]
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(f"  {name:18s} speedup {measured:7.1f}x  (baseline {entry['speedup']:.1f}x, floor {floor:.1f}x)  {status}")
+        if measured < floor:
+            failures.append(name)
+    if failures:
+        print(f"FAIL: speedup regressed >={REGRESSION_FACTOR}x on: {', '.join(failures)}")
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help=f"CI smoke run (n={QUICK_N})")
+    parser.add_argument("--n", type=int, default=None, help="override the key count")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    parser.add_argument("--output", type=Path, default=Path("BENCH_core.json"))
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help="baseline BENCH_core.json; exit 1 if any speedup fell below half of it",
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (QUICK_N if args.quick else FULL_N)
+    report = run(n=n, repeats=args.repeats, quick=args.quick)
+
+    print(f"n={n} (quick={args.quick}):")
+    for name, entry in report["results"].items():
+        print(
+            f"  {name:18s} python {entry['python_s']*1e3:9.1f} ms   "
+            f"numpy {entry['numpy_s']*1e3:8.2f} ms   {entry['speedup']:7.1f}x"
+        )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.compare is not None:
+        return compare(report, args.compare)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -172,8 +172,10 @@ class EMDProtocol:
         writer = BitWriter()
         for level in range(p.levels):
             table = self._table(coins, level)
-            for row, point in enumerate(alice_points):
-                table.insert(int(alice_keys[row, level]), point)
+            table.insert_pairs(
+                (int(key), point)
+                for key, point in zip(alice_keys[:, level].tolist(), alice_points)
+            )
             write_riblt_cells(writer, table)
         payload = channel.send(ALICE, "emd-riblts", writer.getvalue(), writer.bit_length)
 
@@ -192,8 +194,10 @@ class EMDProtocol:
         decoded_pairs = 0
         for level in range(p.levels - 1, -1, -1):
             table = loaded[level]
-            for row, point in enumerate(bob_points):
-                table.delete(int(bob_keys[row, level]), point)
+            table.delete_pairs(
+                (int(key), point)
+                for key, point in zip(bob_keys[:, level].tolist(), bob_points)
+            )
             outcome = table.decode(decode_rng)
             if outcome.success and outcome.pair_count <= p.accept_pairs:
                 decoded_level = level

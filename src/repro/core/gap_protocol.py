@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..hashing import PublicCoins
 from ..lsh.base import LSHFamily, LSHParams, batches_for_p2_half
 from ..lsh.keys import BatchKeyBuilder, key_bits_for
@@ -182,8 +184,11 @@ class GapProtocol:
         """Execute the 4-round protocol; Bob ends with ``S_B ∪ T_A``."""
         channel = channel if channel is not None else Channel()
         builder = self._key_builder(coins)
-        alice_keys = builder.keys_for(list(alice_points))
-        bob_keys = builder.keys_for(list(bob_points))
+        # Key vectors stay (n, h) uint64 matrices end-to-end: built with
+        # vectorised entry hashes, reconciled as matrices, matched as
+        # matrices — no per-point Python loops on the hot path.
+        alice_keys = builder.key_matrix_for(list(alice_points))
+        bob_keys = builder.key_matrix_for(list(bob_points))
 
         # ---- Rounds 1-3: Alice learns Bob's key multiset ------------------
         reconciler = SetsOfSetsReconciler(
@@ -208,17 +213,15 @@ class GapProtocol:
         candidates = sos.bob_key_view
 
         # ---- Alice: find far keys ------------------------------------------
-        transmitted: list[Point] = []
-        for point, key in zip(alice_points, alice_keys):
-            best = 0
-            for candidate in candidates:
-                matches = BatchKeyBuilder.matches(key, candidate)
-                if matches > best:
-                    best = matches
-                    if best >= self.match_threshold:
-                        break
-            if best < self.match_threshold:
-                transmitted.append(point)
+        candidate_matrix = np.asarray(candidates, dtype=np.uint64).reshape(
+            len(candidates), self.entries
+        )
+        best = BatchKeyBuilder.best_matches(alice_keys, candidate_matrix)
+        transmitted = [
+            point
+            for point, matches in zip(alice_points, best.tolist())
+            if matches < self.match_threshold
+        ]
 
         # ---- Round 4: Alice -> Bob — the far elements ---------------------
         writer = BitWriter()

@@ -5,6 +5,14 @@ See :mod:`repro.hashing.random_source` for the public-coin model and
 protocols.
 """
 
+from .mersenne import (
+    add_mod_p,
+    affine_mod_p,
+    fold_bits,
+    mul_mod_p,
+    reduce_mod_p,
+    to_field,
+)
 from .random_source import PublicCoins, derive_seed
 from .universal import (
     MERSENNE_P,
@@ -24,4 +32,10 @@ __all__ = [
     "PrefixHasher",
     "VectorHash",
     "fold_to_bits",
+    "add_mod_p",
+    "affine_mod_p",
+    "fold_bits",
+    "mul_mod_p",
+    "reduce_mod_p",
+    "to_field",
 ]

@@ -1,0 +1,143 @@
+"""Exact vectorised arithmetic over the Mersenne field ``GF(2^61 - 1)``.
+
+numpy's 64-bit integers cannot hold the 122-bit product of two field
+elements, so a naive ``(a * x) % P`` in ``uint64`` silently wraps.  The
+classic fix — used by every fast Mersenne-prime hash implementation — is
+*limb splitting*: write each 61-bit operand as ``hi·2^32 + lo`` with
+``hi < 2^29`` and ``lo < 2^32``.  The three partial products
+
+* ``hi_a·hi_b        < 2^58``   (weight ``2^64``)
+* ``hi_a·lo_b + lo_a·hi_b < 2^62``  (weight ``2^32``)
+* ``lo_a·lo_b        < 2^64``   (weight ``1``)
+
+all fit in ``uint64``, and the Mersenne identity ``2^61 ≡ 1 (mod P)``
+turns the weighted recombination into cheap shifts:
+
+* ``2^64 ≡ 8``, so the high product contributes ``8·hi_a·hi_b``;
+* ``mid·2^32 = (mid >> 29)·2^61 + (mid & (2^29-1))·2^32
+            ≡ (mid >> 29) + ((mid & (2^29-1)) << 32)``;
+* the low product folds as ``(lo >> 61) + (lo & P)``.
+
+Every intermediate stays below ``2^63``, so the arithmetic is *exact* in
+``uint64`` — no ``object``-dtype arrays, no Python-int round trips.  All
+functions broadcast and accept scalars or arrays; results always satisfy
+``0 <= out < P``.
+
+This module is the substrate for the vectorised hash families in
+:mod:`repro.hashing.universal` and, through them, for the numpy IBLT
+backend.  Bit-exact agreement with Python's ``%`` on the same inputs is
+pinned by property tests in ``tests/test_hashing.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_P",
+    "reduce_mod_p",
+    "to_field",
+    "add_mod_p",
+    "mul_mod_p",
+    "affine_mod_p",
+    "fold_bits",
+]
+
+#: The Mersenne prime 2^61 - 1 (kept as a Python int; see universal.py).
+MERSENNE_P = (1 << 61) - 1
+
+_P = np.uint64(MERSENNE_P)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+_S3 = np.uint64(3)
+_S29 = np.uint64(29)
+_S32 = np.uint64(32)
+_S61 = np.uint64(61)
+
+
+def reduce_mod_p(x: np.ndarray) -> np.ndarray:
+    """Reduce arbitrary ``uint64`` values modulo ``P`` (exact).
+
+    One Mersenne fold brings any 64-bit value below ``2^61 + 8 < 2P``, so
+    a single masked subtraction completes the reduction.  (Masked rather
+    than ``np.where``, whose eagerly-evaluated unselected branch wraps and
+    trips scalar-overflow warnings on 0-d inputs.)
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    r = (x >> _S61) + (x & _P)  # < 2^61 + 8 < 2P
+    return r - _P * (r >= _P)
+
+
+_WRAP64 = np.uint64(MERSENNE_P - 8)  # ≡ -(2^64 mod P): undoes two's-complement wrap
+
+
+def to_field(x: np.ndarray) -> np.ndarray:
+    """Map an integer array into ``[0, P)``, matching Python's ``x % P``.
+
+    Unsigned values up to ``2^64`` reduce directly.  Signed arrays may be
+    negative (e.g. p-stable LSH cell indices): viewing a negative ``x`` as
+    two's-complement uint64 adds ``2^64 ≡ 8 (mod P)``, so those lanes get
+    ``P - 8`` added back, which reproduces floored modulo exactly.
+    """
+    arr = np.asarray(x)
+    if arr.dtype.kind == "i":
+        reduced = reduce_mod_p(arr.astype(np.uint64))
+        negative = arr < 0
+        if negative.any():  # pay the correction passes only when needed
+            reduced = np.where(negative, reduce_mod_p(reduced + _WRAP64), reduced)
+        return reduced
+    return reduce_mod_p(arr.astype(np.uint64))
+
+
+def add_mod_p(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a + b) mod P`` for operands already in ``[0, P)``."""
+    return reduce_mod_p(np.asarray(a, dtype=np.uint64) + np.asarray(b, dtype=np.uint64))
+
+
+def _mul_folded(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a * b`` folded once: the exact product mod ``P``, as a value
+    below ``2^62 + 16`` (callers finish with :func:`reduce_mod_p`)."""
+    a_hi = a >> _S32
+    a_lo = a & _MASK32
+    b_hi = b >> _S32
+    b_lo = b & _MASK32
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62
+    low = a_lo * b_lo  # < 2^64
+    high = a_hi * b_hi  # < 2^58
+    # high·2^64 ≡ 8·high;  mid·2^32 ≡ (mid >> 29) + ((mid & mask29) << 32)
+    s = (high << _S3) + (mid >> _S29) + ((mid & _MASK29) << _S32)  # < 2^63
+    # One shared Mersenne fold of both partial sums stays under 2^62 + 16,
+    # which reduce_mod_p handles — saves two full reduction passes.
+    return (s >> _S61) + (s & _P) + (low >> _S61) + (low & _P)
+
+
+def mul_mod_p(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a * b) mod P`` for operands already in ``[0, P)`` (exact).
+
+    Broadcasts; either side may be a scalar.  See the module docstring
+    for the limb-splitting argument that every intermediate fits uint64.
+    """
+    return reduce_mod_p(
+        _mul_folded(np.asarray(a, dtype=np.uint64), np.asarray(b, dtype=np.uint64))
+    )
+
+
+def affine_mod_p(a: np.ndarray, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``(a * x + b) mod P`` for operands already in ``[0, P)``, fused.
+
+    The addend rides along in the product's shared fold (sum stays below
+    ``2^62 + 2^61``, comfortably inside uint64), so the affine step costs
+    one reduction instead of two.  This is the workhorse of every hash
+    family here: Carter–Wegman evaluation, Horner steps, rolling-hash
+    extension, and vector-hash accumulation are all affine updates.
+    """
+    folded = _mul_folded(np.asarray(a, dtype=np.uint64), np.asarray(x, dtype=np.uint64))
+    return reduce_mod_p(folded + np.asarray(b, dtype=np.uint64))
+
+
+def fold_bits(x: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`repro.hashing.universal.fold_to_bits`."""
+    x = np.asarray(x, dtype=np.uint64)
+    if bits >= 61:
+        return x
+    return x & np.uint64((1 << bits) - 1)

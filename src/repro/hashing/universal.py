@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .mersenne import MERSENNE_P, affine_mod_p, fold_bits, to_field
 from .random_source import PublicCoins
 
 __all__ = [
@@ -35,9 +36,6 @@ __all__ = [
     "Checksum",
     "fold_to_bits",
 ]
-
-#: The Mersenne prime 2^61 - 1 used as the field size for all hashes.
-MERSENNE_P = (1 << 61) - 1
 
 
 def _mod_p(x: int) -> int:
@@ -82,18 +80,14 @@ class PairwiseHash:
         return fold_to_bits(_mod_p(self.a * _mod_p(x) + self.b), self.bits)
 
     def hash_array(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorised evaluation on an int64 array (exact, via object math).
+        """Vectorised evaluation, exact in ``uint64`` via limb splitting.
 
-        numpy cannot hold 61-bit products exactly in int64, so we route
-        through Python-int object arrays; this is still markedly faster than
-        a Python-level loop for large inputs because the modular arithmetic
-        is done in bulk.
+        Bit-identical to mapping :meth:`__call__` over the array for any
+        non-negative inputs below ``2^64`` (see :mod:`repro.hashing.mersenne`
+        for the arithmetic).  Returns a ``uint64`` array.
         """
-        objs = xs.astype(object)
-        out = (self.a * (objs % MERSENNE_P) + self.b) % MERSENNE_P
-        if self.bits < 61:
-            out = out & ((1 << self.bits) - 1)
-        return out
+        out = affine_mod_p(np.uint64(self.a), np.uint64(self.b), to_field(xs))
+        return fold_bits(out, self.bits)
 
 
 class VectorHash:
@@ -121,11 +115,26 @@ class VectorHash:
             acc += coeff * _mod_p(int(x))
         return fold_to_bits(_mod_p(acc), self.bits)
 
-    def hash_matrix(self, matrix: np.ndarray) -> list[int]:
-        """Hash each row of an ``(n, arity)`` integer matrix."""
+    def hash_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Hash each row of an ``(n, arity)`` matrix; returns ``uint64``.
+
+        Bit-identical to mapping :meth:`__call__` over the rows for
+        non-negative entries below ``2^64``; one fused pass of vectorised
+        field operations per column.
+        """
+        matrix = np.asarray(matrix)
         if matrix.ndim != 2 or matrix.shape[1] != self.arity:
             raise ValueError(f"expected shape (n, {self.arity}), got {matrix.shape}")
-        return [self(row) for row in matrix.tolist()]
+        # Reduce once, then transpose-copy so each column scan is contiguous.
+        reduced = np.ascontiguousarray(to_field(matrix).T)
+        acc = np.full(matrix.shape[0], self.b, dtype=np.uint64)
+        for column, coeff in enumerate(self.coeffs):
+            acc = affine_mod_p(np.uint64(coeff), acc, reduced[column])
+        return fold_bits(acc, self.bits)
+
+    def hash_matrix(self, matrix: np.ndarray) -> list[int]:
+        """Hash each row of an ``(n, arity)`` integer matrix."""
+        return [int(value) for value in self.hash_rows(matrix)]
 
 
 class PrefixHasher:
@@ -190,6 +199,38 @@ class PrefixHasher:
             digests.append(self.digest(state))
         return digests
 
+    def prefix_digests_many(
+        self, values: np.ndarray, lengths: Sequence[int]
+    ) -> np.ndarray:
+        """Vectorised :meth:`prefix_digests` over every row of a matrix.
+
+        ``values`` is an ``(n, width)`` matrix of non-negative integers;
+        the return is the ``(n, len(lengths))`` ``uint64`` matrix whose row
+        ``i`` equals ``prefix_digests(values[i], lengths)``.  The rolling
+        state advances one exact vectorised field step per column, so the
+        whole point set is hashed in ``O(width)`` numpy operations.
+        """
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError(f"expected a 2-d matrix, got shape {values.shape}")
+        rows, width = values.shape
+        # Reduce once, then transpose-copy so each column scan is contiguous.
+        reduced = np.ascontiguousarray(to_field(values).T)
+        state = np.full(rows, self.b, dtype=np.uint64)
+        r = np.uint64(self.r)
+        out = np.empty((rows, len(lengths)), dtype=np.uint64)
+        consumed = 0
+        for position, length in enumerate(lengths):
+            if length < consumed:
+                raise ValueError("prefix lengths must be non-decreasing")
+            if length > width:
+                raise ValueError(f"prefix length {length} exceeds {width} values")
+            for column in range(consumed, length):
+                state = affine_mod_p(state, reduced[column], r)
+            consumed = length
+            out[:, position] = fold_bits(state, self.bits)
+        return out
+
 
 class Checksum:
     """Key checksum for IBLT/RIBLT cells.
@@ -212,3 +253,15 @@ class Checksum:
     def __call__(self, key: int) -> int:
         x = _mod_p(int(key))
         return fold_to_bits(_mod_p(self.a2 * x * x + self.a1 * x + self.b), self.bits)
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised checksums, exact in ``uint64``; matches :meth:`__call__`.
+
+        Horner form ``((a2·x + a1)·x + b) mod P`` — two exact field
+        multiplications per element instead of three (see
+        :mod:`repro.hashing.mersenne`).  Returns a ``uint64`` array.
+        """
+        x = to_field(keys)
+        out = affine_mod_p(np.uint64(self.a2), np.uint64(self.a1), x)
+        out = affine_mod_p(out, np.uint64(self.b), x)
+        return fold_bits(out, self.bits)

@@ -11,11 +11,15 @@ from .hypergraph import (
     riblt_sparsity_threshold,
     two_core,
 )
+from .backend import BACKENDS, default_backend, resolve_backend
 from .counting import MultisetDecodeResult, MultisetIBLT
 from .iblt import IBLT, IBLTDecodeResult, cells_for_differences
 from .riblt import RIBLT, RIBLTDecodeResult, riblt_cells_for_pairs
 
 __all__ = [
+    "BACKENDS",
+    "default_backend",
+    "resolve_backend",
     "Component",
     "classify_component",
     "component_census",

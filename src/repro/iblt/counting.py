@@ -11,6 +11,14 @@ checksum -- peels all ``C`` copies at once.
 Decoding returns *signed multiplicities*: positive for net insertions,
 negative for net deletions, which is exactly the view a subtracted table
 of two multisets gives.
+
+Backends: cell *sums* here are unbounded integers (a pre-subtraction cell
+accumulates ``Θ(n·q/m)`` 61-bit items), so unlike the XOR-based
+:class:`~repro.iblt.iblt.IBLT` they cannot live in fixed-width numpy
+arrays without overflow.  The ``"numpy"`` backend therefore keeps exact
+Python-int cells but batch-computes the expensive part — cell indices and
+checksums — with the vectorised Mersenne hashes, which is where nearly
+all of the insert cost goes.  Both backends are bit-identical.
 """
 
 from __future__ import annotations
@@ -19,7 +27,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from ..hashing import Checksum, PairwiseHash, PublicCoins
+from .backend import resolve_backend
+from .iblt import coerce_key_array, partitioned_cell_indices
 
 __all__ = ["MultisetIBLT", "MultisetDecodeResult"]
 
@@ -57,6 +69,7 @@ class MultisetIBLT:
         cells: int,
         q: int = 3,
         key_bits: int = 61,
+        backend: str | None = None,
     ):
         if q < 2:
             raise ValueError(f"q must be >= 2, got {q}")
@@ -67,6 +80,13 @@ class MultisetIBLT:
         self.m = self.block_size * q
         self.key_bits = key_bits
         self.label = label
+        if backend == "numpy" and key_bits > 61:
+            raise ValueError(
+                f"the numpy backend hashes keys of <= 61 bits, got key_bits={key_bits}"
+            )
+        self.backend = resolve_backend(backend)
+        if key_bits > 61:
+            self.backend = "python"
         self._cell_hashes = [
             PairwiseHash(coins, ("mset-cell", label, j), bits=61) for j in range(q)
         ]
@@ -80,6 +100,10 @@ class MultisetIBLT:
             j * self.block_size + self._cell_hashes[j](key) % self.block_size
             for j in range(self.q)
         ]
+
+    def cell_index_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_indices`: the ``(q, n)`` index matrix."""
+        return partitioned_cell_indices(self._cell_hashes, self.block_size, keys)
 
     def _check_key(self, key: int) -> int:
         key = int(key)
@@ -103,11 +127,70 @@ class MultisetIBLT:
             self.key_sum[index] += signed_multiplicity * key
             self.check_sum[index] += signed_multiplicity * check
 
+    def insert_batch(
+        self, keys: np.ndarray, multiplicities: np.ndarray | int = 1
+    ) -> None:
+        """Insert a key array with per-key (or scalar) multiplicities.
+
+        On the numpy backend the cell indices and checksums — the
+        dominant insert cost — are computed in one vectorised pass; the
+        unbounded cell sums are then updated exactly.  Falls back to the
+        scalar path on the python backend.
+        """
+        self._update_batch(keys, multiplicities, +1)
+
+    def delete_batch(
+        self, keys: np.ndarray, multiplicities: np.ndarray | int = 1
+    ) -> None:
+        """Delete a key array with per-key (or scalar) multiplicities."""
+        self._update_batch(keys, multiplicities, -1)
+
+    def _update_batch(
+        self, keys: np.ndarray, multiplicities: np.ndarray | int, sign: int
+    ) -> None:
+        if self.backend != "numpy":
+            # Validate the whole batch before mutating anything; keys stay
+            # Python ints so widths beyond uint64 remain exact.
+            key_list = [
+                self._check_key(key) for key in np.asarray(keys).ravel().tolist()
+            ]
+            mult_list = np.broadcast_to(
+                np.asarray(multiplicities, dtype=np.int64), (len(key_list),)
+            ).tolist()
+            for key, mult in zip(key_list, mult_list):
+                self._update(key, sign * mult)
+            return
+        keys = coerce_key_array(keys, self.key_bits)
+        if keys.size == 0:
+            return
+        mults = np.broadcast_to(
+            np.asarray(multiplicities, dtype=np.int64), keys.shape
+        )
+        checks = self.checksum.hash_array(keys)
+        indices = self.cell_index_matrix(keys)
+        key_list = keys.tolist()
+        check_list = checks.tolist()
+        mult_list = (sign * mults).tolist()
+        counts, key_sum, check_sum = self.counts, self.key_sum, self.check_sum
+        for j in range(self.q):
+            for index, key, check, mult in zip(
+                indices[j].tolist(), key_list, check_list, mult_list
+            ):
+                counts[index] += mult
+                key_sum[index] += mult * key
+                check_sum[index] += mult * check
+
     def insert_all(self, keys: Iterable[int]) -> None:
+        if self.backend == "numpy":
+            self.insert_batch(coerce_key_array(keys, self.key_bits))
+            return
         for key in keys:
             self.insert(key)
 
     def delete_all(self, keys: Iterable[int]) -> None:
+        if self.backend == "numpy":
+            self.delete_batch(coerce_key_array(keys, self.key_bits))
+            return
         for key in keys:
             self.delete(key)
 
@@ -136,6 +219,7 @@ class MultisetIBLT:
         clone.m = self.m
         clone.key_bits = self.key_bits
         clone.label = self.label
+        clone.backend = self.backend
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
         clone.counts = [0] * self.m
@@ -151,9 +235,10 @@ class MultisetIBLT:
         return clone
 
     def is_empty(self) -> bool:
-        return all(count == 0 for count in self.counts) and all(
-            key == 0 for key in self.key_sum
-        )
+        for count, key in zip(self.counts, self.key_sum):
+            if count != 0 or key != 0:
+                return False
+        return True
 
     def _pure_key(self, index: int) -> int | None:
         count = self.counts[index]

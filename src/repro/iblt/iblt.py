@@ -13,6 +13,17 @@ robust variant for noisy values lives in :mod:`repro.iblt.riblt`.
 The table is *partitioned*: hash function ``j`` maps into the ``j``-th
 block of ``m/q`` cells, guaranteeing the ``q`` cell indices of a key are
 distinct (Section 2.2).
+
+Two backends are available (see :mod:`repro.iblt.backend`): the default
+``"numpy"`` backend keeps ``counts``/``key_xor``/``check_xor`` in flat
+arrays and runs inserts, subtraction and peeling as vectorised ``uint64``
+operations; the ``"python"`` backend is the original list-of-int
+reference path.  Both produce bit-identical tables and decode output for
+the same public coins.  Because all XOR/add cell updates commute, the
+numpy decoder peels the table in *rounds* — the current frontier of pure
+cells is detected with one vectorised pass and removed with one batched
+scatter — which recovers exactly the same key set as sequential peeling
+(the unpeelable 2-core of the hypergraph is order-independent).
 """
 
 from __future__ import annotations
@@ -20,14 +31,72 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from ..hashing import Checksum, PairwiseHash, PublicCoins
+import numpy as np
 
-__all__ = ["IBLT", "IBLTDecodeResult", "cells_for_differences"]
+from ..hashing import Checksum, PairwiseHash, PublicCoins
+from .backend import resolve_backend
+
+__all__ = [
+    "IBLT",
+    "IBLTDecodeResult",
+    "cells_for_differences",
+    "coerce_key_array",
+    "partitioned_cell_indices",
+]
 
 #: Conservative cells-per-difference ratio; q=3 peeling succeeds w.h.p.
 #: below load ~0.81, so 2x headroom keeps the failure probability tiny
 #: at the small table sizes experiments use.
 DEFAULT_HEADROOM = 2.0
+
+#: Widest key the numpy backend can store: uint64 cells hold 61-bit field
+#: elements; wider keys silently fall back to the python backend.
+_MAX_NUMPY_KEY_BITS = 61
+
+
+def coerce_key_array(keys: "np.ndarray | Iterable[int]", key_bits: int) -> np.ndarray:
+    """Validate keys into a flat ``uint64`` array; ``ValueError`` otherwise.
+
+    Accepts integer ndarrays or iterables of ints.  Negative keys and keys
+    at or above ``2^key_bits`` raise the same ``ValueError`` the scalar
+    insert path raises — batch and scalar inserts must reject identically
+    (a silent two's-complement wrap would corrupt the table instead).
+    """
+    arr = keys if isinstance(keys, np.ndarray) else np.asarray(list(keys))
+    if arr.ndim != 1:
+        raise ValueError(f"expected a flat key array, got shape {arr.shape}")
+    if arr.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    if arr.dtype.kind == "O":  # oversized Python ints; validate element-wise
+        values = [int(v) for v in arr.tolist()]
+        for value in values:
+            if not 0 <= value < (1 << key_bits):
+                raise ValueError(f"key {value} outside [0, 2^{key_bits})")
+        return np.array(values, dtype=np.uint64)
+    if arr.dtype.kind not in ("i", "u"):
+        raise ValueError(f"expected an integer key array, got dtype {arr.dtype}")
+    if arr.dtype.kind == "i" and int(arr.min()) < 0:
+        raise ValueError(f"key {int(arr.min())} outside [0, 2^{key_bits})")
+    arr = np.ascontiguousarray(arr, dtype=np.uint64)
+    if key_bits < 64 and int(arr.max()) >= (1 << key_bits):
+        raise ValueError(f"key {int(arr.max())} outside [0, 2^{key_bits})")
+    return arr
+
+
+def partitioned_cell_indices(
+    cell_hashes: list[PairwiseHash], block_size: int, keys: np.ndarray
+) -> np.ndarray:
+    """Vectorised partitioned-table cell indexing: the ``(q, n)`` matrix.
+
+    Hash ``j`` maps each key into the ``j``-th block of ``block_size``
+    cells — the shared indexing scheme of every IBLT variant here.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    indices = np.empty((len(cell_hashes), keys.shape[0]), dtype=np.int64)
+    for j, cell_hash in enumerate(cell_hashes):
+        hashed = cell_hash.hash_array(keys) % np.uint64(block_size)
+        indices[j] = hashed.astype(np.int64) + j * block_size
+    return indices
 
 
 def cells_for_differences(expected_differences: int, q: int = 3, headroom: float = DEFAULT_HEADROOM) -> int:
@@ -76,6 +145,10 @@ class IBLT:
         Number of hash functions / blocks.
     key_bits:
         Width of stored keys; keys must lie in ``[0, 2^key_bits)``.
+    backend:
+        ``"numpy"`` or ``"python"`` (default: the process-wide default,
+        see :mod:`repro.iblt.backend`).  Keys wider than 61 bits force
+        the python backend unless ``"numpy"`` was requested explicitly.
     """
 
     def __init__(
@@ -85,23 +158,40 @@ class IBLT:
         cells: int,
         q: int = 3,
         key_bits: int = 61,
+        backend: str | None = None,
     ):
         if q < 2:
             raise ValueError(f"q must be >= 2, got {q}")
         if cells < q:
             raise ValueError(f"cells must be >= q, got {cells}")
+        if backend == "numpy" and key_bits > _MAX_NUMPY_KEY_BITS:
+            raise ValueError(
+                f"the numpy backend holds keys of <= {_MAX_NUMPY_KEY_BITS} bits, "
+                f"got key_bits={key_bits}"
+            )
         self.q = q
         self.block_size = (cells + q - 1) // q
         self.m = self.block_size * q
         self.key_bits = key_bits
         self.label = label
+        self.backend = resolve_backend(backend)
+        if key_bits > _MAX_NUMPY_KEY_BITS:
+            self.backend = "python"
         self._cell_hashes = [
             PairwiseHash(coins, ("iblt-cell", label, j), bits=61) for j in range(q)
         ]
         self.checksum = Checksum(coins, ("iblt-checksum", label), bits=61)
-        self.counts = [0] * self.m
-        self.key_xor = [0] * self.m
-        self.check_xor = [0] * self.m
+        self._alloc_cells()
+
+    def _alloc_cells(self) -> None:
+        if self.backend == "numpy":
+            self.counts: np.ndarray | list[int] = np.zeros(self.m, dtype=np.int64)
+            self.key_xor: np.ndarray | list[int] = np.zeros(self.m, dtype=np.uint64)
+            self.check_xor: np.ndarray | list[int] = np.zeros(self.m, dtype=np.uint64)
+        else:
+            self.counts = [0] * self.m
+            self.key_xor = [0] * self.m
+            self.check_xor = [0] * self.m
 
     # -- structure ---------------------------------------------------------
     def cell_indices(self, key: int) -> list[int]:
@@ -111,11 +201,18 @@ class IBLT:
             for j in range(self.q)
         ]
 
+    def cell_index_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_indices`: the ``(q, n)`` index matrix."""
+        return partitioned_cell_indices(self._cell_hashes, self.block_size, keys)
+
     def _check_key(self, key: int) -> int:
         key = int(key)
         if not 0 <= key < (1 << self.key_bits):
             raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
         return key
+
+    def _check_key_array(self, keys: np.ndarray) -> np.ndarray:
+        return coerce_key_array(keys, self.key_bits)
 
     # -- updates -----------------------------------------------------------
     def insert(self, key: int) -> None:
@@ -134,11 +231,60 @@ class IBLT:
             self.key_xor[index] ^= key
             self.check_xor[index] ^= check
 
+    def insert_batch(self, keys: np.ndarray) -> None:
+        """Add a whole key array in one vectorised pass (numpy backend).
+
+        On the python backend this degrades gracefully to a loop, so
+        callers can batch unconditionally.
+        """
+        self._update_batch(keys, +1)
+
+    def delete_batch(self, keys: np.ndarray) -> None:
+        """Remove a whole key array in one vectorised pass."""
+        self._update_batch(keys, -1)
+
+    def _update_batch(self, keys: np.ndarray, sign: int) -> None:
+        if self.backend != "numpy":
+            # Validate the whole batch before mutating anything, so an
+            # invalid key leaves the table untouched on both backends.
+            key_list = [
+                self._check_key(key) for key in np.asarray(keys).ravel().tolist()
+            ]
+            for key in key_list:
+                self._update(key, sign)
+            return
+        keys = self._check_key_array(keys)
+        if keys.size == 0:
+            return
+        self._scatter(keys, sign)
+
+    def _scatter(self, keys: np.ndarray, signed_counts: int | np.ndarray) -> None:
+        """Apply one ±1-signed update per key to its cells (numpy).
+
+        ``signed_counts`` entries must be ±1: counts are scaled by them
+        but the key/checksum XORs flip exactly once per key regardless,
+        so larger magnitudes would desynchronise counts from XORs.
+        """
+        assert np.all(np.abs(signed_counts) == 1), "scatter updates must be ±1"
+        checks = self.checksum.hash_array(keys)
+        indices = self.cell_index_matrix(keys)
+        for j in range(self.q):
+            row = indices[j]
+            np.add.at(self.counts, row, signed_counts)
+            np.bitwise_xor.at(self.key_xor, row, keys)
+            np.bitwise_xor.at(self.check_xor, row, checks)
+
     def insert_all(self, keys: Iterable[int]) -> None:
+        if self.backend == "numpy":
+            self.insert_batch(coerce_key_array(keys, self.key_bits))
+            return
         for key in keys:
             self.insert(key)
 
     def delete_all(self, keys: Iterable[int]) -> None:
+        if self.backend == "numpy":
+            self.delete_batch(coerce_key_array(keys, self.key_bits))
+            return
         for key in keys:
             self.delete(key)
 
@@ -153,6 +299,11 @@ class IBLT:
         """
         self._check_compatible(other)
         result = self._empty_clone()
+        if self.backend == "numpy":
+            result.counts = self.counts - other.counts
+            result.key_xor = self.key_xor ^ other.key_xor
+            result.check_xor = self.check_xor ^ other.check_xor
+            return result
         for index in range(self.m):
             result.counts[index] = self.counts[index] - other.counts[index]
             result.key_xor[index] = self.key_xor[index] ^ other.key_xor[index]
@@ -167,6 +318,10 @@ class IBLT:
             or self.label != other.label
         ):
             raise ValueError("IBLTs are structurally incompatible")
+        if self.backend != other.backend:
+            raise ValueError(
+                f"cannot combine {self.backend!r} and {other.backend!r} backends"
+            )
 
     def _empty_clone(self) -> "IBLT":
         clone = object.__new__(IBLT)
@@ -175,19 +330,59 @@ class IBLT:
         clone.m = self.m
         clone.key_bits = self.key_bits
         clone.label = self.label
+        clone.backend = self.backend
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
-        clone.counts = [0] * self.m
-        clone.key_xor = [0] * self.m
-        clone.check_xor = [0] * self.m
+        clone._alloc_cells()
         return clone
 
     def copy(self) -> "IBLT":
         clone = self._empty_clone()
-        clone.counts = list(self.counts)
-        clone.key_xor = list(self.key_xor)
-        clone.check_xor = list(self.check_xor)
+        if self.backend == "numpy":
+            clone.counts = self.counts.copy()
+            clone.key_xor = self.key_xor.copy()
+            clone.check_xor = self.check_xor.copy()
+        else:
+            clone.counts = list(self.counts)
+            clone.key_xor = list(self.key_xor)
+            clone.check_xor = list(self.check_xor)
         return clone
+
+    # -- array snapshots -----------------------------------------------------
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cell state as ``(counts int64, key_xor uint64, check_xor uint64)``.
+
+        Always returns fresh arrays regardless of backend — the
+        ndarray-native interchange format for persistence and transport.
+        """
+        if self.backend == "numpy":
+            return self.counts.copy(), self.key_xor.copy(), self.check_xor.copy()
+        return (
+            np.array(self.counts, dtype=np.int64),
+            np.array(self.key_xor, dtype=np.uint64),
+            np.array(self.check_xor, dtype=np.uint64),
+        )
+
+    def load_arrays(
+        self, counts: np.ndarray, key_xor: np.ndarray, check_xor: np.ndarray
+    ) -> "IBLT":
+        """Load a :meth:`to_arrays` snapshot into this (empty) table."""
+        if not self.is_empty():
+            raise ValueError("table must be empty before loading cell arrays")
+        counts = np.asarray(counts, dtype=np.int64)
+        key_xor = np.asarray(key_xor, dtype=np.uint64)
+        check_xor = np.asarray(check_xor, dtype=np.uint64)
+        if counts.shape != (self.m,) or key_xor.shape != (self.m,) or check_xor.shape != (self.m,):
+            raise ValueError(f"cell arrays must all have shape ({self.m},)")
+        if self.backend == "numpy":
+            self.counts = counts.copy()
+            self.key_xor = key_xor.copy()
+            self.check_xor = check_xor.copy()
+        else:
+            self.counts = [int(v) for v in counts]
+            self.key_xor = [int(v) for v in key_xor]
+            self.check_xor = [int(v) for v in check_xor]
+        return self
 
     # -- decoding ------------------------------------------------------------
     def _is_pure(self, index: int) -> bool:
@@ -197,6 +392,12 @@ class IBLT:
         key = self.key_xor[index]
         return self.check_xor[index] == self.checksum(key)
 
+    def _pure_mask(self) -> np.ndarray:
+        """Vectorised pure-cell detection over the whole table (numpy)."""
+        return (np.abs(self.counts) == 1) & (
+            self.check_xor == self.checksum.hash_array(self.key_xor)
+        )
+
     def decode(self) -> IBLTDecodeResult:
         """Peel the table, recovering the signed symmetric difference.
 
@@ -205,6 +406,39 @@ class IBLT:
         and checksum XORs (i.e. the hypergraph had an empty 2-core and no
         checksum anomalies).
         """
+        if self.backend == "numpy":
+            return self._decode_numpy()
+        return self._decode_python()
+
+    def _decode_numpy(self) -> IBLTDecodeResult:
+        result = IBLTDecodeResult(success=False)
+        # Parallel peeling depth is O(log m) w.h.p. for decodable loads; the
+        # cap only guards against checksum-fluke cycles (the success check
+        # below still decides the outcome).
+        for _round in range(2 * self.m + 64):
+            pure_cells = np.flatnonzero(self._pure_mask())
+            if pure_cells.size == 0:
+                break
+            # A key with count ±1 is simultaneously pure in up to q cells;
+            # peel each *distinct* signed key exactly once per round.
+            keys, first = np.unique(self.key_xor[pure_cells], return_index=True)
+            signs = self.counts[pure_cells][first]
+            for key, sign in zip(keys.tolist(), signs.tolist()):
+                if sign > 0:
+                    result.inserted.append(key)
+                else:
+                    result.deleted.append(key)
+            # Batched removal: XOR/add updates commute, so removing the
+            # whole frontier at once equals any sequential peel order.
+            self._scatter(keys, -signs)
+        result.success = bool(
+            not self.counts.any()
+            and not self.key_xor.any()
+            and not self.check_xor.any()
+        )
+        return result
+
+    def _decode_python(self) -> IBLTDecodeResult:
         result = IBLTDecodeResult(success=False)
         queue = [index for index in range(self.m) if self._is_pure(index)]
         seen_in_queue = set(queue)
@@ -224,23 +458,34 @@ class IBLT:
                 if neighbor not in seen_in_queue and self._is_pure(neighbor):
                     queue.append(neighbor)
                     seen_in_queue.add(neighbor)
-        result.success = all(
-            self.counts[index] == 0
-            and self.key_xor[index] == 0
-            and self.check_xor[index] == 0
-            for index in range(self.m)
-        )
+        # Single pass over the cells (not one scan per field).
+        result.success = True
+        for index in range(self.m):
+            if (
+                self.counts[index] != 0
+                or self.key_xor[index] != 0
+                or self.check_xor[index] != 0
+            ):
+                result.success = False
+                break
         return result
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:
         """Net number of (signed) items currently in the table."""
-        return abs(sum(self.counts)) // self.q if self.q else 0
+        if not self.q:
+            return 0
+        if self.backend == "numpy":
+            return abs(int(self.counts.sum())) // self.q
+        return abs(sum(self.counts)) // self.q
 
     def is_empty(self) -> bool:
-        return all(count == 0 for count in self.counts) and all(
-            x == 0 for x in self.key_xor
-        )
+        if self.backend == "numpy":
+            return bool(not self.counts.any() and not self.key_xor.any())
+        for count, key in zip(self.counts, self.key_xor):
+            if count != 0 or key != 0:
+                return False
+        return True
 
     def nonzero_cells(self) -> Iterator[int]:
         for index in range(self.m):

@@ -35,8 +35,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..metric.spaces import Point
+from .iblt import partitioned_cell_indices
 
 __all__ = ["RIBLT", "RIBLTDecodeResult", "riblt_cells_for_pairs"]
 
@@ -164,13 +167,39 @@ class RIBLT:
             for coordinate in range(self.dim):
                 cell_value[coordinate] += sign * value[coordinate]
 
+    def cell_index_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_indices`: the ``(q, n)`` index matrix."""
+        return partitioned_cell_indices(self._cell_hashes, self.block_size, keys)
+
     def insert_pairs(self, pairs: Iterable[tuple[int, Point]]) -> None:
-        for key, value in pairs:
-            self.insert(key, value)
+        self._update_pairs(pairs, +1)
 
     def delete_pairs(self, pairs: Iterable[tuple[int, Point]]) -> None:
-        for key, value in pairs:
-            self.delete(key, value)
+        self._update_pairs(pairs, -1)
+
+    def _update_pairs(self, pairs: Iterable[tuple[int, Point]], sign: int) -> None:
+        """Batched insert/delete: cell indices and checksums are computed
+        with the vectorised Mersenne hashes (the dominant per-pair cost);
+        the unbounded cell sums are then updated exactly per pair."""
+        pairs = [self._check_pair(key, value) for key, value in pairs]
+        if not pairs:
+            return
+        if self.key_bits > 61:  # too wide for uint64 hashing; stay exact
+            for key, value in pairs:
+                self._update(key, value, sign)
+            return
+        keys = np.fromiter((key for key, _ in pairs), dtype=np.uint64, count=len(pairs))
+        checks = self.checksum.hash_array(keys).tolist()
+        indices = self.cell_index_matrix(keys)
+        counts, key_sum, check_sum = self.counts, self.key_sum, self.check_sum
+        for j in range(self.q):
+            for index, (key, value), check in zip(indices[j].tolist(), pairs, checks):
+                counts[index] += sign
+                key_sum[index] += sign * key
+                check_sum[index] += sign * check
+                cell_value = self.value_sum[index]
+                for coordinate in range(self.dim):
+                    cell_value[coordinate] += sign * value[coordinate]
 
     # -- combination ---------------------------------------------------------
     def subtract(self, other: "RIBLT") -> "RIBLT":
@@ -341,9 +370,10 @@ class RIBLT:
 
     # -- introspection ---------------------------------------------------------
     def is_empty(self) -> bool:
-        return all(count == 0 for count in self.counts) and all(
-            key == 0 for key in self.key_sum
-        )
+        for count, key in zip(self.counts, self.key_sum):
+            if count != 0 or key != 0:
+                return False
+        return True
 
     def residual_value_mass(self) -> int:
         """Total absolute value residue left in cells (post-decode noise)."""

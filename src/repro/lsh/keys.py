@@ -82,20 +82,18 @@ class PrefixKeyBuilder:
         self.key_bits = key_bits
 
     def keys_for(self, points: Sequence[Point]) -> np.ndarray:
-        """Return the ``(len(points), levels)`` matrix of level keys.
+        """Return the ``(len(points), levels)`` ``uint64`` matrix of level keys.
 
         Row ``i`` column ``j`` is ``key_{j+1}(points[i])``: the hash of the
-        first ``c_{j+1}`` MLSH values of the point.
+        first ``c_{j+1}`` MLSH values of the point.  The whole point set is
+        hashed with :meth:`~repro.hashing.PrefixHasher.prefix_digests_many`
+        — one vectorised rolling-hash step per MLSH column instead of a
+        Python loop per point.
         """
         if not points:
-            return np.empty((0, self.levels), dtype=object)
+            return np.empty((0, self.levels), dtype=np.uint64)
         values = self.batch.evaluate(points)  # (n, s_max)
-        keys = np.empty((len(points), self.levels), dtype=object)
-        for row, point_values in enumerate(values.tolist()):
-            digests = self.hasher.prefix_digests(point_values, self.prefix_lengths)
-            for level, digest in enumerate(digests):
-                keys[row, level] = digest
-        return keys
+        return self.hasher.prefix_digests_many(values, self.prefix_lengths)
 
 
 class BatchKeyBuilder:
@@ -133,19 +131,26 @@ class BatchKeyBuilder:
             for j in range(entries)
         ]
 
-    def keys_for(self, points: Sequence[Point]) -> list[tuple[int, ...]]:
-        """Return one ``h``-entry key vector per point."""
+    def key_matrix_for(self, points: Sequence[Point]) -> np.ndarray:
+        """The ``(len(points), entries)`` ``uint64`` matrix of key vectors.
+
+        Entry hash ``j`` is evaluated over its LSH-value batch for *all*
+        points at once (:meth:`~repro.hashing.VectorHash.hash_rows`), so the
+        whole key set costs ``O(entries · per_entry)`` vectorised field
+        operations instead of a Python loop per point.
+        """
         if not points:
-            return []
+            return np.empty((0, self.entries), dtype=np.uint64)
         values = self.batch.evaluate(points)  # (n, h*m)
-        keys: list[tuple[int, ...]] = []
-        for point_values in values.tolist():
-            entries = []
-            for j, entry_hash in enumerate(self.entry_hashes):
-                start = j * self.per_entry
-                entries.append(entry_hash(point_values[start : start + self.per_entry]))
-            keys.append(tuple(entries))
+        keys = np.empty((len(points), self.entries), dtype=np.uint64)
+        for j, entry_hash in enumerate(self.entry_hashes):
+            start = j * self.per_entry
+            keys[:, j] = entry_hash.hash_rows(values[:, start : start + self.per_entry])
         return keys
+
+    def keys_for(self, points: Sequence[Point]) -> list[tuple[int, ...]]:
+        """Return one ``h``-entry key vector per point (tuple view)."""
+        return [tuple(row) for row in self.key_matrix_for(points).tolist()]
 
     @staticmethod
     def matches(key_a: Sequence[int], key_b: Sequence[int]) -> int:
@@ -153,6 +158,31 @@ class BatchKeyBuilder:
         if len(key_a) != len(key_b):
             raise ValueError("key vectors must have equal length")
         return sum(a == b for a, b in zip(key_a, key_b))
+
+    @staticmethod
+    def best_matches(keys: np.ndarray, candidates: np.ndarray, chunk: int = 256) -> np.ndarray:
+        """For each row of ``keys``, the max :meth:`matches` over ``candidates``.
+
+        Vectorised pairwise entry comparison, chunked over the key rows to
+        bound the ``chunk × len(candidates) × entries`` broadcast buffer.
+        Returns zeros when there are no candidates.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        candidates = np.asarray(candidates, dtype=np.uint64)
+        if keys.ndim != 2 or candidates.ndim != 2 or (
+            candidates.size and candidates.shape[1] != keys.shape[1]
+        ):
+            raise ValueError(
+                f"key matrices disagree: {keys.shape} vs {candidates.shape}"
+            )
+        best = np.zeros(keys.shape[0], dtype=np.int64)
+        if not candidates.size or not keys.size:
+            return best
+        for start in range(0, keys.shape[0], chunk):
+            block = keys[start : start + chunk]
+            agreement = (block[:, None, :] == candidates[None, :, :]).sum(axis=2)
+            best[start : start + block.shape[0]] = agreement.max(axis=1)
+        return best
 
 
 class VectorizedPrefixKeyBuilder:

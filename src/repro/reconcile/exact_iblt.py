@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..hashing import PublicCoins
 from ..iblt.iblt import IBLT, cells_for_differences
 from ..metric.spaces import MetricSpace, Point
@@ -25,6 +27,7 @@ from ..protocol.tables import iblt_payload, read_iblt_cells
 __all__ = [
     "encode_point",
     "decode_point",
+    "encode_points",
     "ExactReconcileResult",
     "exact_iblt_reconcile",
     "exact_iblt_reconcile_auto",
@@ -39,6 +42,30 @@ def encode_point(space: MetricSpace, point: Point) -> int:
             raise ValueError(f"coordinate {coordinate} outside [0, {space.side})")
         value = value * space.side + coordinate
     return value
+
+
+def encode_points(space: MetricSpace, points: Sequence[Point]) -> np.ndarray:
+    """Vectorised :func:`encode_point` over a whole point set (``uint64``).
+
+    Only valid when the encoded universe fits 64 bits (``side^dim < 2^64``);
+    callers with wider universes must fall back to the scalar encoder.
+    """
+    if not len(points):
+        return np.empty(0, dtype=np.uint64)
+    coordinates = np.asarray(points, dtype=np.int64)
+    if coordinates.ndim != 2 or coordinates.shape[1] != space.dim:
+        raise ValueError(
+            f"expected points of dimension {space.dim}, got shape {coordinates.shape}"
+        )
+    if coordinates.size and (
+        int(coordinates.min()) < 0 or int(coordinates.max()) >= space.side
+    ):
+        raise ValueError(f"coordinate outside [0, {space.side})")
+    side = np.uint64(space.side)
+    values = np.zeros(coordinates.shape[0], dtype=np.uint64)
+    for column in range(space.dim - 1, -1, -1):
+        values = values * side + coordinates[:, column].astype(np.uint64)
+    return values
 
 
 def decode_point(space: MetricSpace, value: int) -> Point:
@@ -87,9 +114,16 @@ def exact_iblt_reconcile(
     key_bits = max(1, space.dim * max(1, (space.side - 1).bit_length()))
     cells = cells_for_differences(delta_bound, q=q)
 
+    # The encoded universe fits uint64 whenever the IBLT can hash it as a
+    # field element; otherwise stay on the exact scalar path.
+    vectorizable = key_bits <= 61
+
     bob_table = IBLT(coins, "exact-reconcile", cells=cells, q=q, key_bits=key_bits)
-    for point in bob_points:
-        bob_table.insert(encode_point(space, point))
+    if vectorizable:
+        bob_table.insert_batch(encode_points(space, bob_points))
+    else:
+        for point in bob_points:
+            bob_table.insert(encode_point(space, point))
     payload, bits = iblt_payload(bob_table)
     sent = channel.send(BOB, "iblt", payload, bits)
 
@@ -98,8 +132,11 @@ def exact_iblt_reconcile(
         BitReader(sent),
         IBLT(coins, "exact-reconcile", cells=cells, q=q, key_bits=key_bits),
     )
-    for point in alice_points:
-        alice_view.delete(encode_point(space, point))
+    if vectorizable:
+        alice_view.delete_batch(encode_points(space, alice_points))
+    else:
+        for point in alice_points:
+            alice_view.delete(encode_point(space, point))
     decoded = alice_view.decode()
     if not decoded.success:
         return ExactReconcileResult(
@@ -162,10 +199,15 @@ def exact_iblt_reconcile_auto(
     channel = channel if channel is not None else Channel()
     key_bits = max(1, space.dim * max(1, (space.side - 1).bit_length()))
 
+    vectorizable = key_bits <= 61
+
     # Round 1 (Alice -> Bob): her strata sketch.
     alice_sketch = StrataEstimator(coins, "auto-strata", key_bits=key_bits)
-    for point in alice_points:
-        alice_sketch.insert(encode_point(space, point))
+    if vectorizable:
+        alice_sketch.insert_batch(encode_points(space, alice_points))
+    else:
+        for point in alice_points:
+            alice_sketch.insert(encode_point(space, point))
     payload, bits = strata_payload(alice_sketch)
     sent = channel.send(ALICE, "strata-sketch", payload, bits)
 
@@ -173,8 +215,11 @@ def exact_iblt_reconcile_auto(
     shell = StrataEstimator(coins, "auto-strata", key_bits=key_bits)
     received = read_strata(sent, shell)
     bob_sketch = StrataEstimator(coins, "auto-strata", key_bits=key_bits)
-    for point in bob_points:
-        bob_sketch.insert(encode_point(space, point))
+    if vectorizable:
+        bob_sketch.insert_batch(encode_points(space, bob_points))
+    else:
+        for point in bob_points:
+            bob_sketch.insert(encode_point(space, point))
     delta_bound = max(4, received.subtract(bob_sketch).estimate())
 
     # Rounds 2-3 (+ doubling retries): the sized reconciliation.

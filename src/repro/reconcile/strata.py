@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from ..hashing import PairwiseHash, PublicCoins
-from ..iblt.iblt import IBLT
+from ..iblt.backend import resolve_backend
+from ..iblt.iblt import IBLT, coerce_key_array
 from ..protocol.serialize import BitReader, BitWriter
 from ..protocol.tables import read_iblt_cells, write_iblt_cells
 
@@ -62,20 +65,35 @@ class StrataEstimator:
         strata: int = _DEFAULT_STRATA,
         cells: int = _CELLS_PER_STRATUM,
         key_bits: int = 61,
+        backend: str | None = None,
     ):
         if strata < 1:
             raise ValueError(f"strata must be >= 1, got {strata}")
+        if backend == "numpy" and key_bits > 61:
+            raise ValueError(
+                f"the numpy backend hashes keys of <= 61 bits, got key_bits={key_bits}"
+            )
         self.coins = coins
         self.label = label
         self.shape = _Shape(strata=strata, cells=cells, key_bits=key_bits)
+        self.backend = resolve_backend(backend)
+        if key_bits > 61:
+            self.backend = "python"
         self._stratum_hash = PairwiseHash(coins, ("strata-level", label), bits=61)
         self.tables = [
-            IBLT(coins, ("strata", label, i), cells=cells, q=3, key_bits=key_bits)
+            IBLT(
+                coins,
+                ("strata", label, i),
+                cells=cells,
+                q=3,
+                key_bits=key_bits,
+                backend=self.backend,
+            )
             for i in range(strata)
         ]
 
     def _stratum_of(self, key: int) -> int:
-        """Trailing-zero count of an independent hash of the key."""
+        """Trailing-one count of an independent hash of the key."""
         value = self._stratum_hash(key)
         stratum = 0
         while value & 1 and stratum < self.shape.strata - 1:
@@ -83,10 +101,50 @@ class StrataEstimator:
             value >>= 1
         return stratum
 
+    def _strata_of_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_stratum_of` (trailing ones, capped)."""
+        hashed = self._stratum_hash.hash_array(keys)
+        # Trailing ones of h == position of the lowest *unset* bit: isolate
+        # it (~h has bits 61..63 set, so it is never zero) and take its
+        # exact float64 log2 — a power of two, so no popcount needed.
+        inverted = ~hashed
+        lowest = inverted & (np.uint64(0) - inverted)
+        trailing = np.log2(lowest.astype(np.float64)).astype(np.int64)
+        return np.minimum(trailing, self.shape.strata - 1)
+
     def insert(self, key: int) -> None:
         self.tables[self._stratum_of(key)].insert(key)
 
+    def insert_batch(self, keys: np.ndarray) -> None:
+        """Assign strata and fill every stratum table in vectorised passes.
+
+        Degrades to the scalar path on the python backend, so callers can
+        batch unconditionally.
+        """
+        if self.backend != "numpy":
+            # Validate the whole batch before mutating anything; keys stay
+            # Python ints so widths beyond uint64 remain exact.
+            key_list = [int(key) for key in np.asarray(keys).ravel().tolist()]
+            limit = 1 << self.shape.key_bits
+            for key in key_list:
+                if not 0 <= key < limit:
+                    raise ValueError(
+                        f"key {key} outside [0, 2^{self.shape.key_bits})"
+                    )
+            for key in key_list:
+                self.insert(key)
+            return
+        keys = coerce_key_array(keys, self.shape.key_bits)
+        if keys.size == 0:
+            return
+        strata = self._strata_of_batch(keys)
+        for stratum in np.unique(strata).tolist():
+            self.tables[stratum].insert_batch(keys[strata == stratum])
+
     def insert_all(self, keys: Iterable[int]) -> None:
+        if self.backend == "numpy":
+            self.insert_batch(coerce_key_array(keys, self.shape.key_bits))
+            return
         for key in keys:
             self.insert(key)
 
@@ -99,6 +157,7 @@ class StrataEstimator:
             strata=self.shape.strata,
             cells=self.shape.cells,
             key_bits=self.shape.key_bits,
+            backend=self.backend,
         )
         result.tables = [
             mine.subtract(theirs)

@@ -45,6 +45,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from ..hashing import PublicCoins, VectorHash
 from ..iblt.counting import MultisetIBLT
 from ..iblt.iblt import cells_for_differences
@@ -130,6 +132,7 @@ class SetsOfSetsReconciler:
         q: int = 4,
         size_multiplier: float = 4.0,
         verbatim_fraction: float = 1.0 / 3.0,
+        backend: str | None = None,
     ):
         if entries < 1:
             raise ValueError(f"entries must be >= 1, got {entries}")
@@ -137,6 +140,7 @@ class SetsOfSetsReconciler:
             raise ValueError(f"entry_bits must be in [1, 55], got {entry_bits}")
         self.coins = coins
         self.label = label
+        self.backend = backend
         self.entries = entries
         self.internal_entries = entries + 1  # +1 signature entry
         self.entry_bits = entry_bits
@@ -167,17 +171,54 @@ class SetsOfSetsReconciler:
             raise ValueError(f"key has {len(key)} entries, expected {self.entries}")
         return tuple(key) + (self.signature_hash(key),)
 
+    def _as_matrix(self, keys: Sequence[KeyVector] | np.ndarray) -> np.ndarray:
+        """Normalise a key collection to an ``(n, entries)`` ``uint64`` matrix."""
+        matrix = np.asarray(keys, dtype=np.uint64)
+        if matrix.size == 0:
+            return matrix.reshape(0, self.entries)
+        if matrix.ndim != 2 or matrix.shape[1] != self.entries:
+            raise ValueError(
+                f"key has {matrix.shape[-1] if matrix.ndim else 0} entries, "
+                f"expected {self.entries}"
+            )
+        if int(matrix.max()) >= (1 << self.entry_bits):
+            raise ValueError(
+                f"entry value {int(matrix.max())} outside [0, 2^{self.entry_bits})"
+            )
+        return matrix
+
+    def _internal_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_internal`: append the signature column."""
+        signatures = self.signature_hash.hash_rows(matrix)
+        return np.concatenate([matrix, signatures[:, None]], axis=1)
+
     def _encode_item(self, index: int, value: int) -> int:
         if not 0 <= value < (1 << self.entry_bits):
             raise ValueError(f"entry value {value} outside [0, 2^{self.entry_bits})")
         return (value << self.index_bits) | index
 
+    def _item_multiset(self, internal_matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct encoded entry items and their multiplicities.
+
+        Vectorised :meth:`_encode_item` over the whole internal-key matrix
+        followed by one ``np.unique`` pass; the result feeds the counting
+        IBLT's batch insert/delete directly.  Only valid while encoded
+        items fit ``uint64`` (``item_bits <= 64``) — :meth:`run` falls
+        back to the exact scalar encoding beyond that.
+        """
+        if internal_matrix.size == 0:
+            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+        index_row = np.arange(self.internal_entries, dtype=np.uint64)[None, :]
+        encoded = (internal_matrix << np.uint64(self.index_bits)) | index_row
+        items, counts = np.unique(encoded.ravel(), return_counts=True)
+        return items, counts.astype(np.int64)
+
     def _items_of(self, internal_keys: Sequence[KeyVector]) -> dict[int, int]:
-        """Multiset of entry items over an internal-key collection."""
+        """Scalar item multiset (exact Python ints, any ``item_bits``)."""
         items: dict[int, int] = {}
         for key in internal_keys:
             for index, value in enumerate(key):
-                item = self._encode_item(index, value)
+                item = self._encode_item(index, int(value))
                 items[item] = items.get(item, 0) + 1
         return items
 
@@ -188,31 +229,50 @@ class SetsOfSetsReconciler:
             cells=self.cells,
             q=self.q,
             key_bits=self.item_bits,
+            backend=self.backend,
         )
 
     # -- the protocol ----------------------------------------------------------
     def run(
         self,
-        alice_keys: Sequence[KeyVector],
-        bob_keys: Sequence[KeyVector],
+        alice_keys: Sequence[KeyVector] | np.ndarray,
+        bob_keys: Sequence[KeyVector] | np.ndarray,
         channel: Channel | None = None,
     ) -> SetsOfSetsResult:
-        """Run the 3-round protocol; Alice ends with Bob's key multiset view."""
+        """Run the 3-round protocol; Alice ends with Bob's key multiset view.
+
+        Key collections may be sequences of tuples or ``(n, entries)``
+        integer matrices; the Gap protocol passes key matrices straight
+        through, keeping the signature hashing, item encoding, and
+        counting-IBLT fills fully vectorised.
+        """
         channel = channel if channel is not None else Channel()
-        alice_internal = [self._internal(key) for key in alice_keys]
-        bob_internal = [self._internal(key) for key in bob_keys]
+        alice_matrix = self._internal_matrix(self._as_matrix(alice_keys))
+        bob_matrix = self._internal_matrix(self._as_matrix(bob_keys))
+        # Tuple views feed the (inherently per-key) patch logic of Round 3.
+        alice_internal = [tuple(row) for row in alice_matrix.tolist()]
+        bob_internal = [tuple(row) for row in bob_matrix.tolist()]
 
         # ---- Round 1: Bob -> Alice — counting IBLT over his items --------
         bob_table = self._table()
-        for item, multiplicity in self._items_of(bob_internal).items():
-            bob_table.insert(item, multiplicity)
+        alice_view_shell = self._table()
+        if self.item_bits <= 64:
+            bob_items, bob_mults = self._item_multiset(bob_matrix)
+            bob_table.insert_batch(bob_items, bob_mults)
+        else:  # encoded items overflow uint64; use the exact scalar path
+            for item, multiplicity in self._items_of(bob_internal).items():
+                bob_table.insert(item, multiplicity)
         payload, bits = multiset_payload(bob_table)
         sent = channel.send(BOB, "sos-item-iblt", payload, bits)
 
         # Alice: load, delete her items, peel.
-        alice_view = read_multiset_cells(BitReader(sent), self._table())
-        for item, multiplicity in self._items_of(alice_internal).items():
-            alice_view.delete(item, multiplicity)
+        alice_view = read_multiset_cells(BitReader(sent), alice_view_shell)
+        if self.item_bits <= 64:
+            alice_items, alice_mults = self._item_multiset(alice_matrix)
+            alice_view.delete_batch(alice_items, alice_mults)
+        else:
+            for item, multiplicity in self._items_of(alice_internal).items():
+                alice_view.delete(item, multiplicity)
         decoded = alice_view.decode()
         if not decoded.success:
             return SetsOfSetsResult(

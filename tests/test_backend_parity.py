@@ -1,0 +1,240 @@
+"""Backend parity: the numpy fast path must be bit-identical to python.
+
+The ``"numpy"`` backend replaces per-key Python loops with vectorised
+uint64 field arithmetic; these tests pin the contract that, for the same
+:class:`~repro.hashing.PublicCoins`, both backends produce the same cell
+indices, the same checksums, the same cell state, and the same decode
+output — including on *failed* decodes, where the unpeelable 2-core is
+order-independent and both peeling disciplines must recover the same
+maximal key set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import PublicCoins
+from repro.iblt import IBLT, MultisetIBLT, cells_for_differences
+from repro.reconcile.strata import StrataEstimator
+
+KEY_BITS = 56
+KEY_MAX = (1 << KEY_BITS) - 1
+
+
+def _tables(coins, cells, q, backend_pair=("python", "numpy"), key_bits=KEY_BITS):
+    return [
+        IBLT(coins, "parity", cells=cells, q=q, key_bits=key_bits, backend=backend)
+        for backend in backend_pair
+    ]
+
+
+def _assert_same_cells(python_table, numpy_table):
+    assert list(python_table.counts) == numpy_table.counts.tolist()
+    assert list(python_table.key_xor) == numpy_table.key_xor.tolist()
+    assert list(python_table.check_xor) == numpy_table.check_xor.tolist()
+
+
+class TestIBLTParity:
+    def test_cell_index_matrix_matches_scalar(self, coins):
+        table = IBLT(coins, "idx", cells=60, q=3, key_bits=KEY_BITS, backend="numpy")
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, KEY_MAX, size=200, dtype=np.uint64)
+        matrix = table.cell_index_matrix(keys)
+        for column, key in enumerate(keys.tolist()):
+            assert matrix[:, column].tolist() == table.cell_indices(key)
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=KEY_MAX), min_size=0, max_size=60),
+        q=st.sampled_from([2, 3, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_insert_state_identical(self, keys, q):
+        coins = PublicCoins(77)
+        python_table, numpy_table = _tables(coins, cells=30, q=q)
+        python_table.insert_all(keys)
+        numpy_table.insert_batch(np.array(keys, dtype=np.uint64))
+        _assert_same_cells(python_table, numpy_table)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_subtract_decode_identical(self, data):
+        """Same coins → identical decode output, success or not."""
+        shared = data.draw(
+            st.lists(st.integers(0, KEY_MAX), min_size=0, max_size=40, unique=True)
+        )
+        alice_only = data.draw(
+            st.lists(st.integers(0, KEY_MAX), min_size=0, max_size=15, unique=True)
+        )
+        bob_only = data.draw(
+            st.lists(st.integers(0, KEY_MAX), min_size=0, max_size=15, unique=True)
+        )
+        alice = sorted(set(shared) | set(alice_only))
+        bob = sorted((set(shared) | set(bob_only)) - set(alice_only))
+        coins = PublicCoins(data.draw(st.integers(0, 1 << 20)))
+        cells = data.draw(st.sampled_from([12, 24, 48]))
+
+        results = {}
+        for backend in ("python", "numpy"):
+            table_a = IBLT(coins, "sd", cells=cells, q=3, key_bits=KEY_BITS, backend=backend)
+            table_b = IBLT(coins, "sd", cells=cells, q=3, key_bits=KEY_BITS, backend=backend)
+            table_a.insert_all(alice)
+            table_b.insert_all(bob)
+            results[backend] = table_b.subtract(table_a).decode()
+        assert results["python"].success == results["numpy"].success
+        assert sorted(results["python"].inserted) == sorted(results["numpy"].inserted)
+        assert sorted(results["python"].deleted) == sorted(results["numpy"].deleted)
+
+    def test_decode_failure_recovers_same_partial_set(self, coins):
+        """Overload both backends: the peeled (non-2-core) keys agree."""
+        rng = np.random.default_rng(9)
+        keys = rng.choice(KEY_MAX, size=200, replace=False).tolist()
+        outputs = {}
+        for backend in ("python", "numpy"):
+            table = IBLT(coins, "over", cells=60, q=3, key_bits=KEY_BITS, backend=backend)
+            table.insert_all(keys)
+            outputs[backend] = table.decode()
+        assert not outputs["python"].success and not outputs["numpy"].success
+        assert sorted(outputs["python"].inserted) == sorted(outputs["numpy"].inserted)
+
+    def test_serialization_roundtrip_across_backends(self, coins):
+        """A python-built payload loads into a numpy shell bit-for-bit."""
+        from repro.protocol.serialize import BitReader
+        from repro.protocol.tables import iblt_payload, read_iblt_cells
+
+        keys = list(range(1000, 1012))
+        python_table = IBLT(coins, "wire", cells=30, q=3, key_bits=KEY_BITS, backend="python")
+        python_table.insert_all(keys)
+        payload, _ = iblt_payload(python_table)
+        shell = IBLT(coins, "wire", cells=30, q=3, key_bits=KEY_BITS, backend="numpy")
+        loaded = read_iblt_cells(BitReader(payload), shell)
+        _assert_same_cells(python_table, loaded)
+        result = loaded.decode()
+        assert result.success and sorted(result.inserted) == keys
+
+    def test_to_arrays_roundtrip(self, coins):
+        table = IBLT(coins, "arr", cells=30, q=3, key_bits=KEY_BITS, backend="numpy")
+        table.insert_all([7, 8, 9])
+        counts, key_xor, check_xor = table.to_arrays()
+        python_clone = IBLT(coins, "arr", cells=30, q=3, key_bits=KEY_BITS, backend="python")
+        python_clone.load_arrays(counts, key_xor, check_xor)
+        _assert_same_cells(python_clone, table)
+
+    def test_wide_keys_fall_back_to_python(self, coins):
+        table = IBLT(coins, "wide", cells=30, q=3, key_bits=80)
+        assert table.backend == "python"
+        with pytest.raises(ValueError):
+            IBLT(coins, "wide", cells=30, q=3, key_bits=80, backend="numpy")
+        # The whole family honours the same contract.
+        assert MultisetIBLT(coins, "wide", cells=30, key_bits=80).backend == "python"
+        with pytest.raises(ValueError):
+            MultisetIBLT(coins, "wide", cells=30, key_bits=80, backend="numpy")
+        assert StrataEstimator(coins, "wide", key_bits=80).backend == "python"
+        with pytest.raises(ValueError):
+            StrataEstimator(coins, "wide", key_bits=80, backend="numpy")
+
+    def test_large_n_decode_near_threshold(self, coins):
+        """A big difference table just under the q=3 peeling threshold
+        (load ≈ 0.75 < c*_3 ≈ 0.818) decodes identically on both backends."""
+        rng = np.random.default_rng(0xBEEF)
+        differences = 3000  # symmetric difference is 2·differences keys
+        cells = int(2 * differences / 0.75)
+        universe = rng.choice(KEY_MAX, size=20_000 + differences, replace=False)
+        alice = universe[: 20_000]
+        bob = np.concatenate([universe[differences:20_000], universe[20_000:]])
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            table_a = IBLT(coins, "big", cells=cells, q=3, key_bits=KEY_BITS, backend=backend)
+            table_b = IBLT(coins, "big", cells=cells, q=3, key_bits=KEY_BITS, backend=backend)
+            table_a.insert_all(alice.tolist())
+            table_b.insert_all(bob.tolist())
+            outcomes[backend] = table_b.subtract(table_a).decode()
+        assert outcomes["numpy"].success
+        assert outcomes["python"].success
+        assert outcomes["numpy"].difference_count == 2 * differences
+        assert sorted(outcomes["python"].inserted) == sorted(outcomes["numpy"].inserted)
+        assert sorted(outcomes["python"].deleted) == sorted(outcomes["numpy"].deleted)
+
+
+class TestMultisetParity:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, KEY_MAX), st.integers(1, 5)),
+            min_size=0,
+            max_size=40,
+        ),
+        seed=st.integers(0, 1 << 20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_insert_state_identical(self, entries, seed):
+        coins = PublicCoins(seed)
+        tables = {
+            backend: MultisetIBLT(
+                coins, "mp", cells=24, q=3, key_bits=KEY_BITS, backend=backend
+            )
+            for backend in ("python", "numpy")
+        }
+        for key, mult in entries:
+            tables["python"].insert(key, mult)
+        if entries:
+            keys, mults = zip(*entries)
+            tables["numpy"].insert_batch(
+                np.array(keys, dtype=np.uint64), np.array(mults, dtype=np.int64)
+            )
+        assert tables["python"].counts == tables["numpy"].counts
+        assert tables["python"].key_sum == tables["numpy"].key_sum
+        assert tables["python"].check_sum == tables["numpy"].check_sum
+
+    def test_subtract_decode_identical(self, coins):
+        rng = np.random.default_rng(4)
+        alice = {int(k): int(m) for k, m in zip(rng.choice(KEY_MAX, 30, replace=False), rng.integers(1, 4, 30))}
+        bob = dict(list(alice.items())[5:])
+        bob.update({int(k): 2 for k in rng.choice(KEY_MAX, 5, replace=False)})
+        decoded = {}
+        for backend in ("python", "numpy"):
+            table_a = MultisetIBLT(coins, "msd", cells=60, q=4, key_bits=KEY_BITS, backend=backend)
+            table_b = MultisetIBLT(coins, "msd", cells=60, q=4, key_bits=KEY_BITS, backend=backend)
+            for key, mult in alice.items():
+                table_a.insert(key, mult)
+            table_b.insert_batch(
+                np.array(list(bob), dtype=np.uint64),
+                np.array(list(bob.values()), dtype=np.int64),
+            )
+            decoded[backend] = table_a.subtract(table_b).decode()
+        assert decoded["python"].success == decoded["numpy"].success
+        assert decoded["python"].multiplicities == decoded["numpy"].multiplicities
+
+
+class TestStrataParity:
+    def test_stratum_assignment_matches_scalar(self, coins):
+        estimator = StrataEstimator(coins, "sa", backend="numpy")
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 1 << 60, size=500, dtype=np.uint64)
+        batch = estimator._strata_of_batch(keys)
+        for key, stratum in zip(keys.tolist(), batch.tolist()):
+            assert estimator._stratum_of(key) == stratum
+
+    @given(seed=st.integers(0, 1 << 20), count=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_tables_and_estimate_identical(self, seed, count):
+        coins = PublicCoins(seed)
+        rng = np.random.default_rng(seed)
+        alice = rng.choice(1 << 60, size=count + 50, replace=False)
+        bob = alice[count // 2 :]  # overlap with a controlled difference
+        estimates = {}
+        sketches = {}
+        for backend in ("python", "numpy"):
+            sketch_a = StrataEstimator(coins, "se", backend=backend)
+            sketch_b = StrataEstimator(coins, "se", backend=backend)
+            sketch_a.insert_all(int(k) for k in alice)
+            sketch_b.insert_all(int(k) for k in bob)
+            sketches[backend] = sketch_a
+            estimates[backend] = sketch_a.subtract(sketch_b).estimate()
+        for python_table, numpy_table in zip(
+            sketches["python"].tables, sketches["numpy"].tables
+        ):
+            assert list(python_table.counts) == numpy_table.counts.tolist()
+            assert list(python_table.key_xor) == numpy_table.key_xor.tolist()
+        assert estimates["python"] == estimates["numpy"]

@@ -100,6 +100,35 @@ class TestPairwiseHash:
         xs = np.array([0, 5, 12345, 1 << 40], dtype=np.int64)
         assert h.hash_array(xs).tolist() == [h(int(x)) for x in xs]
 
+    def test_hash_array_exact_uint64(self, coins):
+        """The limb-split uint64 path returns a native unsigned array."""
+        h = PairwiseHash(coins, "dtype", bits=61)
+        out = h.hash_array(np.arange(16, dtype=np.uint64))
+        assert out.dtype == np.uint64
+
+    @pytest.mark.parametrize("bits", [16, 40, 61])
+    def test_hash_array_matches_scalar_edges(self, coins, bits):
+        """Regression: batch evaluation must agree with ``__call__`` on
+        random 61-bit inputs *and* the field edge values."""
+        h = PairwiseHash(coins, ("edges", bits), bits=bits)
+        rng = np.random.default_rng(0xED6E)
+        xs = np.concatenate(
+            [
+                rng.integers(0, 1 << 61, size=2000, dtype=np.int64).astype(np.uint64),
+                np.array(
+                    [0, 1, MERSENNE_P - 1, (1 << 61) - 1, 1 << 61, (1 << 64) - 1],
+                    dtype=np.uint64,
+                ),
+            ]
+        )
+        assert h.hash_array(xs).tolist() == [h(int(x)) for x in xs.tolist()]
+
+    def test_hash_array_matches_scalar_negative(self, coins):
+        """Signed inputs (e.g. p-stable LSH cells) use floored modulo."""
+        h = PairwiseHash(coins, "neg", bits=61)
+        xs = np.array([-1, -2, -MERSENNE_P, -(1 << 62), -(1 << 63)], dtype=np.int64)
+        assert h.hash_array(xs).tolist() == [h(int(x)) for x in xs.tolist()]
+
     def test_rejects_bad_bits(self, coins):
         with pytest.raises(ValueError):
             PairwiseHash(coins, "x", bits=0)
@@ -135,6 +164,14 @@ class TestVectorHash:
         h = VectorHash(coins, "m", arity=3, bits=40)
         matrix = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int64)
         assert h.hash_matrix(matrix) == [h([1, 2, 3]), h([4, 5, 6])]
+
+    def test_hash_rows_matches_scalar(self, coins):
+        h = VectorHash(coins, "rows", arity=5, bits=50)
+        rng = np.random.default_rng(0x0BAD)
+        matrix = rng.integers(-(1 << 62), 1 << 62, size=(500, 5), dtype=np.int64)
+        assert h.hash_rows(matrix).tolist() == [
+            h([int(v) for v in row]) for row in matrix.tolist()
+        ]
 
     def test_hash_matrix_shape_check(self, coins):
         h = VectorHash(coins, "m", arity=3)
@@ -178,6 +215,26 @@ class TestPrefixHasher:
         b = hasher.hash_prefix([1, 2, 4], 3)
         assert a != b
 
+    def test_prefix_digests_many_matches_rows(self, coins):
+        hasher = PrefixHasher(coins, "pm", bits=52)
+        rng = np.random.default_rng(0xFACE)
+        values = rng.integers(-(1 << 61), 1 << 61, size=(200, 24), dtype=np.int64)
+        lengths = [1, 3, 3, 10, 24]
+        batch = hasher.prefix_digests_many(values, lengths)
+        assert batch.shape == (200, len(lengths))
+        for row in range(200):
+            assert batch[row].tolist() == hasher.prefix_digests(
+                [int(v) for v in values[row]], lengths
+            )
+
+    def test_prefix_digests_many_rejects_bad_lengths(self, coins):
+        hasher = PrefixHasher(coins, "pm2")
+        values = np.zeros((4, 6), dtype=np.int64)
+        with pytest.raises(ValueError):
+            hasher.prefix_digests_many(values, [3, 2])
+        with pytest.raises(ValueError):
+            hasher.prefix_digests_many(values, [7])
+
     @given(st.lists(st.integers(min_value=0, max_value=1 << 61), min_size=1, max_size=30))
     @settings(max_examples=50, deadline=None)
     def test_extend_many_matches_loop(self, values):
@@ -208,3 +265,23 @@ class TestChecksum:
         checksum = Checksum(coins, "coll", bits=61)
         values = {checksum(x) for x in range(5000)}
         assert len(values) == 5000
+
+    def test_hash_array_matches_scalar(self, coins):
+        checksum = Checksum(coins, "carr", bits=61)
+        rng = np.random.default_rng(0xC0DE)
+        xs = np.concatenate(
+            [
+                rng.integers(0, 1 << 61, size=2000, dtype=np.int64).astype(np.uint64),
+                np.array([0, 1, MERSENNE_P - 1, (1 << 61) - 1], dtype=np.uint64),
+            ]
+        )
+        assert checksum.hash_array(xs).tolist() == [
+            checksum(int(x)) for x in xs.tolist()
+        ]
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_array_property(self, key):
+        checksum = Checksum(PublicCoins(3), "hyp", bits=61)
+        batch = checksum.hash_array(np.array([key], dtype=np.uint64))
+        assert int(batch[0]) == checksum(key)

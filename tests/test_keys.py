@@ -141,6 +141,37 @@ class TestBatchKeyBuilder:
                 batch, entries=4, per_entry=3, coins=coins, label="x", key_bits=32
             )
 
+    def test_best_matches_matches_scalar(self, rng):
+        """The vectorised max-agreement must equal the scalar matches loop,
+        including across chunk boundaries."""
+        keys = rng.integers(0, 16, size=(10, 5)).astype(np.uint64)
+        candidates = rng.integers(0, 16, size=(7, 5)).astype(np.uint64)
+        best = BatchKeyBuilder.best_matches(keys, candidates, chunk=4)
+        for row, key in enumerate(keys.tolist()):
+            expected = max(
+                BatchKeyBuilder.matches(key, candidate)
+                for candidate in candidates.tolist()
+            )
+            assert best[row] == expected
+
+    def test_best_matches_no_candidates(self):
+        keys = np.ones((3, 4), dtype=np.uint64)
+        empty = np.empty((0, 4), dtype=np.uint64)
+        assert BatchKeyBuilder.best_matches(keys, empty).tolist() == [0, 0, 0]
+
+    def test_best_matches_shape_check(self):
+        with pytest.raises(ValueError):
+            BatchKeyBuilder.best_matches(
+                np.ones((2, 4), dtype=np.uint64), np.ones((2, 3), dtype=np.uint64)
+            )
+
+    def test_key_matrix_matches_tuples(self, coins, family, rng):
+        builder = self._builder(coins, family)
+        points = HammingSpace(16).sample(rng, 8)
+        matrix = builder.key_matrix_for(points)
+        assert matrix.dtype == np.uint64
+        assert [tuple(row) for row in matrix.tolist()] == builder.keys_for(points)
+
     def test_far_points_rarely_match(self, coins, rng):
         space = HammingSpace(64)
         family = BitSamplingMLSH(space, w=64)

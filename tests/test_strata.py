@@ -71,8 +71,8 @@ class TestStrataEstimator:
         shell = _estimator(coins)
         loaded = read_strata(payload, shell)
         for mine, loaded_table in zip(estimator.tables, loaded.tables):
-            assert mine.counts == loaded_table.counts
-            assert mine.key_xor == loaded_table.key_xor
+            assert list(mine.counts) == list(loaded_table.counts)
+            assert list(mine.key_xor) == list(loaded_table.key_xor)
 
     def test_rejects_bad_strata(self, coins):
         with pytest.raises(ValueError):
