@@ -168,6 +168,14 @@ def run(n: int, repeats: int, quick: bool) -> dict:
 
 
 def compare(report: dict, baseline_path: Path) -> int:
+    if not baseline_path.is_file():
+        print(
+            f"FAIL: baseline {baseline_path} does not exist. The regression "
+            "gate must compare against the *committed* baseline — refusing "
+            "to continue (CI must never self-baseline). Run without "
+            "--compare locally to record a new baseline, then commit it."
+        )
+        return 1
     baseline = json.loads(baseline_path.read_text())
     baseline_n = baseline.get("meta", {}).get("n")
     if baseline_n != report["meta"]["n"]:
@@ -207,6 +215,16 @@ def main(argv: list[str] | None = None) -> int:
         help="baseline BENCH_core.json; exit 1 if any speedup fell below half of it",
     )
     args = parser.parse_args(argv)
+
+    # Fail fast on a missing baseline *before* burning benchmark time;
+    # compare() repeats the check for callers that invoke it directly.
+    if args.compare is not None and not args.compare.is_file():
+        print(
+            f"FAIL: baseline {args.compare} does not exist; refusing to run "
+            "the regression gate without a committed baseline (CI must "
+            "never self-baseline)."
+        )
+        return 1
 
     n = args.n if args.n is not None else (QUICK_N if args.quick else FULL_N)
     report = run(n=n, repeats=args.repeats, quick=args.quick)

@@ -48,6 +48,12 @@ from .core import (
     solve_index_via_gap,
     verify_gap_guarantee,
 )
+from .experiments import (
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    builtin_scenarios,
+)
 from .hashing import PublicCoins
 from .iblt import IBLT, RIBLT, MultisetIBLT
 from .lsh import (
@@ -85,6 +91,10 @@ __all__ = [
     "repair_point_set",
     "solve_index_via_gap",
     "verify_gap_guarantee",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "builtin_scenarios",
     "PublicCoins",
     "IBLT",
     "RIBLT",

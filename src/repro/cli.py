@@ -6,9 +6,11 @@ writing a script.
 
 Commands
 --------
-``emd``     Algorithm 1 on Hamming or grid data.
-``gap``     The Gap Guarantee protocol (general or low-dimensional).
-``exact``   Exact baselines: IBLT, auto-sized IBLT, char. polynomial.
+``emd``        Algorithm 1 on Hamming or grid data.
+``gap``        The Gap Guarantee protocol (general or low-dimensional).
+``exact``      Exact baselines: IBLT, auto-sized IBLT, char. polynomial.
+``scenarios``  The seeded scenario matrix (every protocol family) as
+               deterministic JSON — what CI's smoke job runs.
 
 Examples
 --------
@@ -18,12 +20,14 @@ Examples
     python -m repro.cli gap --space l1 --side 4096 --dim 2 --n 48 --k 3 \\
         --r1 4 --r2 512 --lowdim
     python -m repro.cli exact --method cpi --n 100 --delta 8
+    python -m repro.cli scenarios --seed 7 --backend numpy --output out.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -35,7 +39,9 @@ from .core import (
     low_dimensional_gap_protocol,
     verify_gap_guarantee,
 )
+from .experiments import ScenarioRunner, builtin_scenarios, render_report
 from .hashing import PublicCoins
+from .iblt.backend import BACKENDS, DECODE_MODES
 from .lsh import BitSamplingMLSH, GridMLSH
 from .metric import GridSpace, HammingSpace, MetricSpace, emd, emd_k
 from .reconcile import cpi_reconcile, exact_iblt_reconcile, exact_iblt_reconcile_auto
@@ -153,6 +159,46 @@ def _cmd_exact(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    specs = builtin_scenarios(args.seed)
+    if args.only:
+        wanted = set(args.only)
+        unknown = wanted - {spec.name for spec in specs}
+        if unknown:
+            print(f"unknown scenarios: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        specs = [spec for spec in specs if spec.name in wanted]
+    if args.list:
+        for spec in specs:
+            print(f"{spec.name:22s} {spec.protocol}")
+        return 0
+
+    runner = ScenarioRunner(backend=args.backend, decode_mode=args.decode_mode)
+    results = runner.run_all(specs)
+    # Human-readable progress goes to stderr; stdout (or --output) carries
+    # only the canonical JSON so same-seed runs stay byte-identical.
+    for result in results:
+        status = "ok" if result.success else "FAIL"
+        print(
+            f"  {result.spec.name:22s} [{result.backend}] {status:4s} "
+            f"bits={result.metrics.get('bits', '-'):>8} "
+            f"rounds={result.metrics.get('rounds', '-')} "
+            f"({result.wall_time_s * 1e3:.1f} ms)",
+            file=sys.stderr,
+        )
+    report = render_report(results, seed=args.seed, include_timings=args.timings)
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(report)
+    failures = [result.spec.name for result in results if not result.success]
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
     exact_parser.add_argument("--delta", type=int, default=8)
     exact_parser.add_argument("--seed", type=int, default=0)
     exact_parser.set_defaults(handler=_cmd_exact)
+
+    scen_parser = sub.add_parser(
+        "scenarios", help="run the seeded scenario matrix, emit canonical JSON"
+    )
+    scen_parser.add_argument("--seed", type=int, default=0)
+    scen_parser.add_argument("--backend", choices=BACKENDS, default=None,
+                             help="force a backend (default: process default)")
+    scen_parser.add_argument("--decode-mode", choices=DECODE_MODES, default=None,
+                             help="force an IBLT decode mode")
+    scen_parser.add_argument("--only", action="append", metavar="NAME",
+                             help="run only the named scenario (repeatable)")
+    scen_parser.add_argument("--list", action="store_true",
+                             help="list scenario names and exit")
+    scen_parser.add_argument("--timings", action="store_true",
+                             help="include wall times (breaks byte-determinism)")
+    scen_parser.add_argument("--output", type=Path, default=None,
+                             help="write the JSON report here instead of stdout")
+    scen_parser.set_defaults(handler=_cmd_scenarios)
     return parser
 
 

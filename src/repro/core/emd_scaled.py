@@ -14,7 +14,6 @@ per-interval messages travel in the protocol's single round.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Sequence
@@ -25,7 +24,7 @@ from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import ALICE, Channel
 from ..protocol.serialize import BitReader, BitWriter
 from ..protocol.tables import read_riblt_cells, write_riblt_cells
-from .emd_protocol import EMDProtocol, EMDResult
+from .emd_protocol import EMDProtocol
 from .params import default_distance_bounds, derive_emd_parameters
 from .repair import repair_point_set
 

@@ -32,7 +32,7 @@ import numpy as np
 from ..hashing import PublicCoins
 from ..lsh.bit_sampling import BitSamplingMLSH
 from ..metric.spaces import HammingSpace, Point
-from ..protocol.channel import ALICE, Channel
+from ..protocol.channel import Channel
 from .gap_protocol import GapProtocol
 
 __all__ = [

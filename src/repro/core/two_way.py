@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..hashing import PublicCoins
-from ..metric.spaces import MetricSpace, Point
+from ..metric.spaces import Point
 from ..protocol.channel import Channel
 from .emd_protocol import EMDProtocol, EMDResult
 from .gap_protocol import GapProtocol, GapResult

@@ -1,0 +1,27 @@
+"""Seeded scenario harness: one API over every protocol in the repo.
+
+A :class:`ScenarioSpec` names a workload generator, a protocol driver,
+its parameters, and a seed; a :class:`ScenarioRunner` executes specs on
+a chosen backend and returns :class:`ScenarioResult` objects whose
+canonical JSON rendering is byte-identical across runs with the same
+seed (wall-clock timings are carried separately and excluded from the
+canonical form).  ``python -m repro.cli scenarios`` exposes the built-in
+matrix on the command line; CI smoke-tests it on both backends.
+"""
+
+from .runner import ScenarioRunner, render_report
+from .scenarios import (
+    DRIVERS,
+    ScenarioResult,
+    ScenarioSpec,
+    builtin_scenarios,
+)
+
+__all__ = [
+    "DRIVERS",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "builtin_scenarios",
+    "render_report",
+]

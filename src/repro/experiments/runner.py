@@ -1,0 +1,109 @@
+"""The scenario runner and its canonical JSON report.
+
+:class:`ScenarioRunner` executes :class:`~repro.experiments.scenarios.ScenarioSpec`
+objects on a chosen backend/decode-mode (by scoping the ``REPRO_BACKEND``
+and ``REPRO_DECODE`` process defaults around each run, exactly the knobs
+CI's matrix sets globally) and times each run.  :func:`render_report`
+turns the results into the canonical JSON document: keys sorted, floats
+pre-rounded by the drivers, timings excluded unless asked for — so two
+runs with the same seed and backend produce byte-identical reports,
+which is the invariant CI's ``scenarios-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+from ..iblt.backend import (
+    default_backend,
+    default_decode_mode,
+    resolve_backend,
+    resolve_decode_mode,
+)
+from .scenarios import DRIVERS, ScenarioResult, ScenarioSpec
+
+__all__ = ["ScenarioRunner", "render_report"]
+
+SCHEMA = "repro.scenarios/v1"
+
+
+@contextmanager
+def _scoped_env(name: str, value: str | None):
+    """Temporarily pin an environment variable (None leaves it alone)."""
+    if value is None:
+        yield
+        return
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[name]
+        else:
+            os.environ[name] = previous
+
+
+class ScenarioRunner:
+    """Run scenario specs against one backend and decode mode.
+
+    Parameters
+    ----------
+    backend:
+        ``"numpy"``/``"python"`` to force, or None for the process-wide
+        default (``REPRO_BACKEND`` or numpy).
+    decode_mode:
+        ``"frontier"``/``"rescan"`` to force, or None for the default.
+    """
+
+    def __init__(self, backend: str | None = None, decode_mode: str | None = None):
+        # Validate eagerly so a typo fails before any scenario runs.
+        self.backend = None if backend is None else resolve_backend(backend)
+        self.decode_mode = (
+            None if decode_mode is None else resolve_decode_mode(decode_mode)
+        )
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Execute one spec; raises ``KeyError`` for an unknown protocol."""
+        driver = DRIVERS[spec.protocol]
+        with _scoped_env("REPRO_BACKEND", self.backend):
+            with _scoped_env("REPRO_DECODE", self.decode_mode):
+                backend = default_backend()
+                default_decode_mode()  # fail fast on an invalid env value
+                start = time.perf_counter()
+                metrics = driver(spec, spec.rng(), spec.coins())
+                elapsed = time.perf_counter() - start
+        return ScenarioResult(
+            spec=spec, backend=backend, metrics=metrics, wall_time_s=elapsed
+        )
+
+    def run_all(self, specs: Iterable[ScenarioSpec]) -> list[ScenarioResult]:
+        return [self.run(spec) for spec in specs]
+
+
+def render_report(
+    results: Sequence[ScenarioResult],
+    seed: int,
+    include_timings: bool = False,
+) -> str:
+    """The canonical JSON report (ends with a newline).
+
+    Byte-deterministic for a fixed seed/backend unless ``include_timings``
+    is set: keys are sorted, scenario order follows the input order, and
+    all metric floats were rounded by the drivers.
+    """
+    document = {
+        "schema": SCHEMA,
+        "seed": seed,
+        "backends": sorted({result.backend for result in results}),
+        "scenario_count": len(results),
+        "failures": sorted(
+            result.spec.name for result in results if not result.success
+        ),
+        "scenarios": [result.to_dict(include_timings) for result in results],
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -18,15 +18,46 @@ Both backends are bit-identical for the same :class:`~repro.hashing.PublicCoins`
 (``tests/test_backend_parity.py``).  The process-wide default comes from
 the ``REPRO_BACKEND`` environment variable when set, else ``"numpy"``;
 individual tables can override it via their ``backend=`` parameter.
+
+The numpy backend additionally exposes two *decode modes* for its
+vectorised peeler (see :mod:`repro.iblt.frontier`):
+
+``"frontier"`` (default)
+    Incremental frontier tracking: the pure-cell candidate set is seeded
+    once and thereafter only the cells touched by each batch peel are
+    re-tested.
+
+``"rescan"``
+    The pre-frontier decoder that re-derives the full pure mask from the
+    whole cell array every round.  Kept as the regression oracle the
+    frontier decoder is pinned bit-identical against
+    (``tests/test_frontier_decoder.py``) and for decode benchmarking.
+
+The process-wide default comes from ``REPRO_DECODE`` when set, else
+``"frontier"``; individual tables can override it via ``decode_mode=``.
+Both modes produce identical output for any collision-free table state
+— i.e. unless some cell's garbage XOR passes the checksum purity test,
+a ``~2^-61``-per-cell fluke under random coins (see the caveat in
+:mod:`repro.iblt.iblt`); on such a cell only the garbage output
+differs, never the ``success`` verdict.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["BACKENDS", "default_backend", "resolve_backend"]
+__all__ = [
+    "BACKENDS",
+    "DECODE_MODES",
+    "default_backend",
+    "default_decode_mode",
+    "resolve_backend",
+    "resolve_decode_mode",
+]
 
 BACKENDS = ("numpy", "python")
+
+DECODE_MODES = ("frontier", "rescan")
 
 
 def default_backend() -> str:
@@ -46,3 +77,22 @@ def resolve_backend(backend: str | None) -> str:
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     return backend
+
+
+def default_decode_mode() -> str:
+    """The process-wide decode mode (``REPRO_DECODE`` or ``"frontier"``)."""
+    mode = os.environ.get("REPRO_DECODE", "frontier").strip().lower()
+    if mode not in DECODE_MODES:
+        raise ValueError(f"REPRO_DECODE must be one of {DECODE_MODES}, got {mode!r}")
+    return mode
+
+
+def resolve_decode_mode(decode_mode: str | None) -> str:
+    """Validate an explicit decode-mode choice, or fall back to the default."""
+    if decode_mode is None:
+        return default_decode_mode()
+    if decode_mode not in DECODE_MODES:
+        raise ValueError(
+            f"decode_mode must be one of {DECODE_MODES}, got {decode_mode!r}"
+        )
+    return decode_mode

@@ -23,7 +23,6 @@ all of the insert cost goes.  Both backends are bit-identical.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -31,6 +30,7 @@ import numpy as np
 
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from .backend import resolve_backend
+from .frontier import PeelQueue
 from .iblt import coerce_key_array, partitioned_cell_indices
 
 __all__ = ["MultisetIBLT", "MultisetDecodeResult"]
@@ -255,17 +255,19 @@ class MultisetIBLT:
         return key
 
     def decode(self) -> MultisetDecodeResult:
-        """Breadth-first peel; destructive."""
+        """Breadth-first peel; destructive.
+
+        The candidate frontier is seeded with one pure scan; afterwards
+        only the cells a peel touches can change purity, so only those
+        are pushed (see :mod:`repro.iblt.frontier`).
+        """
         result = MultisetDecodeResult(success=False)
-        queue: deque[int] = deque()
-        enqueued = [False] * self.m
+        queue = PeelQueue(self.m, fifo=True)
         for index in range(self.m):
             if self._pure_key(index) is not None:
-                queue.append(index)
-                enqueued[index] = True
+                queue.push(index)
         while queue:
-            index = queue.popleft()
-            enqueued[index] = False
+            index = queue.pop()
             key = self._pure_key(index)
             if key is None:
                 continue
@@ -275,9 +277,8 @@ class MultisetIBLT:
                 del result.multiplicities[key]
             self._update(key, -count)
             for neighbor in self.cell_indices(key):
-                if not enqueued[neighbor] and self._pure_key(neighbor) is not None:
-                    queue.append(neighbor)
-                    enqueued[neighbor] = True
+                if not queue.pending(neighbor) and self._pure_key(neighbor) is not None:
+                    queue.push(neighbor)
         result.success = self.is_empty() and all(
             check == 0 for check in self.check_sum
         )

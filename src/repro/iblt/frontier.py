@@ -1,0 +1,73 @@
+"""Shared peeling-frontier machinery for the IBLT family.
+
+Peeling is the core-emergence process of XORSAT / cuckoo-hashing
+threshold analyses: decode succeeds by repeatedly stripping degree-1
+(pure) cells, and each strip can only change the cells its key hashes
+to.  The process is therefore inherently *incremental* — after the
+initial pure scan, the only cells whose purity can have changed are the
+ones actually touched by a peel.  Every decoder in this package tracks
+that frontier instead of rescanning the table:
+
+* the scalar decoders (:class:`~repro.iblt.iblt.IBLT` on the python
+  backend, :class:`~repro.iblt.counting.MultisetIBLT`,
+  :class:`~repro.iblt.riblt.RIBLT`) drive a :class:`PeelQueue` of
+  candidate cell indices, seeded once and fed by the neighbours of each
+  peeled key;
+* the vectorised numpy decoder (``IBLT._decode_numpy_frontier``)
+  maintains the same frontier as an index *array*, re-testing purity
+  only on the cells touched by the previous batch peel.
+
+The queue preserves each decoder's historical peel discipline exactly —
+FIFO for the breadth-first decoders whose error-propagation analysis
+depends on peel order (RIBLT Lemma 3.10), LIFO for the classic IBLT's
+stack-based reference decoder — so decode output stays bit-identical to
+the pre-frontier implementations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["PeelQueue"]
+
+
+class PeelQueue:
+    """A deduplicated queue of candidate cell indices.
+
+    A cell index is held at most once; pushing an enqueued index is a
+    no-op.  ``fifo`` selects breadth-first (popleft) or depth-first
+    (pop) order.  Membership is tracked with a flat flag table over the
+    ``m`` cells, so push/pop are O(1) regardless of table size.
+    """
+
+    def __init__(self, m: int, fifo: bool = True):
+        self._queue: deque[int] = deque()
+        self._enqueued = bytearray(m)
+        self._fifo = fifo
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def pending(self, index: int) -> bool:
+        """Whether ``index`` is currently enqueued.
+
+        Decoders check this *before* their purity test: the flag lookup
+        is O(1) while purity costs a checksum evaluation, and a pending
+        cell will be re-tested at pop time anyway.
+        """
+        return bool(self._enqueued[index])
+
+    def push(self, index: int) -> None:
+        """Enqueue ``index`` unless it is already pending."""
+        if not self._enqueued[index]:
+            self._enqueued[index] = 1
+            self._queue.append(index)
+
+    def pop(self) -> int:
+        """Remove and return the next candidate (per the queue order)."""
+        index = self._queue.popleft() if self._fifo else self._queue.pop()
+        self._enqueued[index] = 0
+        return index

@@ -15,7 +15,6 @@ Molloy [26] quoted in Lemma B.4.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass
 

@@ -21,9 +21,26 @@ operations; the ``"python"`` backend is the original list-of-int
 reference path.  Both produce bit-identical tables and decode output for
 the same public coins.  Because all XOR/add cell updates commute, the
 numpy decoder peels the table in *rounds* — the current frontier of pure
-cells is detected with one vectorised pass and removed with one batched
-scatter — which recovers exactly the same key set as sequential peeling
-(the unpeelable 2-core of the hypergraph is order-independent).
+cells is removed with one batched scatter per round — which recovers
+exactly the same key set as sequential peeling (the unpeelable 2-core of
+the hypergraph is order-independent).
+
+The round frontier itself is tracked *incrementally* (decode mode
+``"frontier"``, the default): peeling a pure cell's key can only change
+the cells that key hashes to, so after the one seeding scan each round
+re-tests purity only on the cells touched by the previous batch peel —
+``O(q)`` cells per peeled key instead of a full ``m``-cell rescan per
+round.  Any cell that stays pure across a round was itself peeled (its
+key maps to it), hence touched, so the incremental candidate set always
+contains every pure cell and the round sequence is bit-identical to the
+pre-frontier ``"rescan"`` decoder retained in
+:meth:`IBLT._decode_numpy_rescan`.  That argument assumes every cell
+passing the purity test holds a real key; a 61-bit checksum *collision*
+(a cell whose garbage ``key_xor`` happens to satisfy the checksum test
+without hashing to that cell) breaks it — the rescan decoder re-peels
+such a cell every round while the frontier peels it once.  Both modes
+still report ``success=False`` there; only the garbage output differs,
+with probability ``~2^-61`` per cell under random coins.
 """
 
 from __future__ import annotations
@@ -34,7 +51,9 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..hashing import Checksum, PairwiseHash, PublicCoins
-from .backend import resolve_backend
+from ..hashing.mersenne import affine_mod_p, fold_bits, to_field
+from .backend import resolve_backend, resolve_decode_mode
+from .frontier import PeelQueue
 
 __all__ = [
     "IBLT",
@@ -89,9 +108,24 @@ def partitioned_cell_indices(
     """Vectorised partitioned-table cell indexing: the ``(q, n)`` matrix.
 
     Hash ``j`` maps each key into the ``j``-th block of ``block_size``
-    cells — the shared indexing scheme of every IBLT variant here.
+    cells — the shared indexing scheme of every IBLT variant here.  When
+    all hashes share an output width (always true for the tables in this
+    package) the ``q`` Carter–Wegman evaluations run as one broadcast
+    ``(q, n)`` affine pass, which matters for the decoder where ``n`` is
+    a small peel frontier and per-call overhead would dominate.
     """
     keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    widths = {cell_hash.bits for cell_hash in cell_hashes}
+    if len(widths) == 1:
+        a = np.array([cell_hash.a for cell_hash in cell_hashes], dtype=np.uint64)
+        b = np.array([cell_hash.b for cell_hash in cell_hashes], dtype=np.uint64)
+        hashed = fold_bits(
+            affine_mod_p(a[:, None], b[:, None], to_field(keys)[None, :]),
+            widths.pop(),
+        )
+        indices = (hashed % np.uint64(block_size)).astype(np.int64)
+        indices += (np.arange(len(cell_hashes), dtype=np.int64) * block_size)[:, None]
+        return indices
     indices = np.empty((len(cell_hashes), keys.shape[0]), dtype=np.int64)
     for j, cell_hash in enumerate(cell_hashes):
         hashed = cell_hash.hash_array(keys) % np.uint64(block_size)
@@ -149,6 +183,11 @@ class IBLT:
         ``"numpy"`` or ``"python"`` (default: the process-wide default,
         see :mod:`repro.iblt.backend`).  Keys wider than 61 bits force
         the python backend unless ``"numpy"`` was requested explicitly.
+    decode_mode:
+        ``"frontier"`` (incremental candidate tracking, the default) or
+        ``"rescan"`` (full pure-mask rescan per round, the pre-frontier
+        oracle).  Only affects the numpy decoder; both modes produce
+        identical output.
     """
 
     def __init__(
@@ -159,6 +198,7 @@ class IBLT:
         q: int = 3,
         key_bits: int = 61,
         backend: str | None = None,
+        decode_mode: str | None = None,
     ):
         if q < 2:
             raise ValueError(f"q must be >= 2, got {q}")
@@ -177,6 +217,7 @@ class IBLT:
         self.backend = resolve_backend(backend)
         if key_bits > _MAX_NUMPY_KEY_BITS:
             self.backend = "python"
+        self.decode_mode = resolve_decode_mode(decode_mode)
         self._cell_hashes = [
             PairwiseHash(coins, ("iblt-cell", label, j), bits=61) for j in range(q)
         ]
@@ -259,15 +300,31 @@ class IBLT:
         self._scatter(keys, sign)
 
     def _scatter(self, keys: np.ndarray, signed_counts: int | np.ndarray) -> None:
-        """Apply one ±1-signed update per key to its cells (numpy).
+        """Apply one ±1-signed update per key to its cells (numpy)."""
+        self._scatter_at(
+            self.cell_index_matrix(keys),
+            keys,
+            self.checksum.hash_array(keys),
+            signed_counts,
+        )
+
+    def _scatter_at(
+        self,
+        indices: np.ndarray,
+        keys: np.ndarray,
+        checks: np.ndarray,
+        signed_counts: int | np.ndarray,
+    ) -> None:
+        """Scatter updates through precomputed indices and checksums.
 
         ``signed_counts`` entries must be ±1: counts are scaled by them
         but the key/checksum XORs flip exactly once per key regardless,
-        so larger magnitudes would desynchronise counts from XORs.
+        so larger magnitudes would desynchronise counts from XORs.  The
+        decoder reuses ``indices`` as the touched-cell frontier and
+        reads ``checks`` straight out of the pure cells it peels, which
+        is why both are parameters rather than recomputed here.
         """
         assert np.all(np.abs(signed_counts) == 1), "scatter updates must be ±1"
-        checks = self.checksum.hash_array(keys)
-        indices = self.cell_index_matrix(keys)
         for j in range(self.q):
             row = indices[j]
             np.add.at(self.counts, row, signed_counts)
@@ -331,6 +388,7 @@ class IBLT:
         clone.key_bits = self.key_bits
         clone.label = self.label
         clone.backend = self.backend
+        clone.decode_mode = self.decode_mode
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
         clone._alloc_cells()
@@ -398,6 +456,24 @@ class IBLT:
             self.check_xor == self.checksum.hash_array(self.key_xor)
         )
 
+    def _pure_cells(self) -> np.ndarray:
+        """Indices of all pure cells, testing checksums only where
+        ``|count| == 1`` (the checksum hash is the expensive half)."""
+        candidates = np.flatnonzero(np.abs(self.counts) == 1)
+        return self._pure_subset(candidates)
+
+    def _pure_subset(self, cells: np.ndarray) -> np.ndarray:
+        """The subset of ``cells`` that currently pass the purity test.
+
+        ``cells`` may contain duplicates (the decoder passes the raw
+        touched-cell matrix); duplicates simply survive or fail the
+        test together and are deduplicated later by the per-round
+        ``np.unique`` over peeled keys.
+        """
+        cells = cells[np.abs(self.counts[cells]) == 1]
+        mask = self.check_xor[cells] == self.checksum.hash_array(self.key_xor[cells])
+        return cells[mask]
+
     def decode(self) -> IBLTDecodeResult:
         """Peel the table, recovering the signed symmetric difference.
 
@@ -407,30 +483,73 @@ class IBLT:
         checksum anomalies).
         """
         if self.backend == "numpy":
-            return self._decode_numpy()
+            if self.decode_mode == "rescan":
+                return self._decode_numpy_rescan()
+            return self._decode_numpy_frontier()
         return self._decode_python()
 
-    def _decode_numpy(self) -> IBLTDecodeResult:
+    def _peel_round(self, result: IBLTDecodeResult, pure_cells: np.ndarray) -> np.ndarray:
+        """Peel one round's pure cells; returns the touched-cell matrix.
+
+        A key with count ±1 is simultaneously pure in up to q cells; each
+        *distinct* signed key is peeled exactly once per round, appended
+        in ``np.unique`` (sorted) order.  Batched removal is
+        order-independent (XOR/add updates commute), and the returned
+        ``(q, n)`` index matrix of the peeled keys is exactly the set of
+        cells whose purity can have changed.  The checksums to scatter
+        are read straight out of the pure cells — the purity test just
+        proved ``check_xor == checksum(key)`` there — saving a hash pass.
+        """
+        keys, first = np.unique(self.key_xor[pure_cells], return_index=True)
+        signs = self.counts[pure_cells][first]
+        checks = self.check_xor[pure_cells][first]
+        result.inserted.extend(keys[signs > 0].tolist())
+        result.deleted.extend(keys[signs < 0].tolist())
+        indices = self.cell_index_matrix(keys)
+        self._scatter_at(indices, keys, checks, -signs)
+        return indices
+
+    def _decode_numpy_frontier(self) -> IBLTDecodeResult:
+        """Round-based peeling with incremental frontier tracking.
+
+        The candidate set is seeded from one full pure scan; thereafter
+        each round re-tests only the cells touched by the previous batch
+        peel.  Every cell that is pure at round ``r+1`` was touched at
+        round ``r`` (a cell pure in both rounds had its own key peeled,
+        and that key maps to it), so the candidates always cover the
+        full pure set and the round sequence — hence the decode output —
+        is bit-identical to :meth:`_decode_numpy_rescan`.
+        """
         result = IBLTDecodeResult(success=False)
-        # Parallel peeling depth is O(log m) w.h.p. for decodable loads; the
-        # cap only guards against checksum-fluke cycles (the success check
-        # below still decides the outcome).
+        pure_cells = self._pure_cells()
+        # Round cap as in the rescan decoder: peeling depth is O(log m)
+        # w.h.p.; the cap only guards against checksum-fluke cycles (the
+        # success check below still decides the outcome).
+        for _round in range(2 * self.m + 64):
+            if pure_cells.size == 0:
+                break
+            touched = self._peel_round(result, pure_cells)
+            pure_cells = self._pure_subset(touched.ravel())
+        result.success = bool(
+            not self.counts.any()
+            and not self.key_xor.any()
+            and not self.check_xor.any()
+        )
+        return result
+
+    def _decode_numpy_rescan(self) -> IBLTDecodeResult:
+        """The pre-frontier decoder: full pure-mask rescan every round.
+
+        Kept as the bit-identical oracle for the frontier decoder (see
+        ``tests/test_frontier_decoder.py``) and as the baseline the
+        decode benchmarks measure the frontier win against.
+        """
+        result = IBLTDecodeResult(success=False)
         for _round in range(2 * self.m + 64):
             pure_cells = np.flatnonzero(self._pure_mask())
             if pure_cells.size == 0:
                 break
-            # A key with count ±1 is simultaneously pure in up to q cells;
-            # peel each *distinct* signed key exactly once per round.
-            keys, first = np.unique(self.key_xor[pure_cells], return_index=True)
-            signs = self.counts[pure_cells][first]
-            for key, sign in zip(keys.tolist(), signs.tolist()):
-                if sign > 0:
-                    result.inserted.append(key)
-                else:
-                    result.deleted.append(key)
-            # Batched removal: XOR/add updates commute, so removing the
-            # whole frontier at once equals any sequential peel order.
-            self._scatter(keys, -signs)
+            self._peel_round(result, pure_cells)
         result.success = bool(
             not self.counts.any()
             and not self.key_xor.any()
@@ -440,11 +559,15 @@ class IBLT:
 
     def _decode_python(self) -> IBLTDecodeResult:
         result = IBLTDecodeResult(success=False)
-        queue = [index for index in range(self.m) if self._is_pure(index)]
-        seen_in_queue = set(queue)
+        # Depth-first frontier (the historical reference discipline);
+        # candidates beyond the one seeding scan are only the cells
+        # touched by a peel.
+        queue = PeelQueue(self.m, fifo=False)
+        for index in range(self.m):
+            if self._is_pure(index):
+                queue.push(index)
         while queue:
             index = queue.pop()
-            seen_in_queue.discard(index)
             if not self._is_pure(index):
                 continue
             sign = self.counts[index]
@@ -455,9 +578,8 @@ class IBLT:
                 result.deleted.append(key)
             self._update(key, -sign)
             for neighbor in self.cell_indices(key):
-                if neighbor not in seen_in_queue and self._is_pure(neighbor):
-                    queue.append(neighbor)
-                    seen_in_queue.add(neighbor)
+                if not queue.pending(neighbor) and self._is_pure(neighbor):
+                    queue.push(neighbor)
         # Single pass over the cells (not one scan per field).
         result.success = True
         for index in range(self.m):

@@ -31,7 +31,6 @@ checksum sum, value sum) from every cell the key hashes to.
 from __future__ import annotations
 
 import random
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -39,6 +38,7 @@ import numpy as np
 
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..metric.spaces import Point
+from .frontier import PeelQueue
 from .iblt import partitioned_cell_indices
 
 __all__ = ["RIBLT", "RIBLTDecodeResult", "riblt_cells_for_pairs"]
@@ -318,16 +318,16 @@ class RIBLT:
             rng = random.Random(0x5EED)
         result = RIBLTDecodeResult(success=False)
 
-        queue: deque[int] = deque()
-        enqueued = [False] * self.m
+        # Breadth-first frontier (item 1: FIFO order, which Lemma 3.10's
+        # error-propagation analysis depends on), fed incrementally with
+        # the cells each peel touches.
+        queue = PeelQueue(self.m, fifo=True)
         for index in range(self.m):
             if self._pure_key(index) is not None:
-                queue.append(index)
-                enqueued[index] = True
+                queue.push(index)
 
         while queue:
-            index = queue.popleft()
-            enqueued[index] = False
+            index = queue.pop()
             key = self._pure_key(index)
             if key is None:
                 continue
@@ -356,9 +356,8 @@ class RIBLT:
                 neighbor_value = self.value_sum[neighbor]
                 for coordinate in range(self.dim):
                     neighbor_value[coordinate] -= snapshot_value[coordinate]
-                if not enqueued[neighbor] and self._pure_key(neighbor) is not None:
-                    queue.append(neighbor)
-                    enqueued[neighbor] = True
+                if not queue.pending(neighbor) and self._pure_key(neighbor) is not None:
+                    queue.push(neighbor)
 
         result.success = all(
             self.counts[index] == 0

@@ -12,7 +12,7 @@ zigzag varints whose cost adapts to their magnitude (``O(log |x|)``).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..metric.spaces import MetricSpace, Point
 

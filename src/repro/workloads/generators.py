@@ -16,7 +16,6 @@ exactly that structure for every supported space:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hashing import PublicCoins
-from repro.iblt import IBLT, MultisetIBLT, cells_for_differences
+from repro.iblt import IBLT, MultisetIBLT
 from repro.reconcile.strata import StrataEstimator
 
 KEY_BITS = 56

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -66,3 +68,45 @@ class TestCommands:
     def test_lowdim_requires_grid(self, capsys):
         code = main(["gap", "--space", "hamming", "--lowdim", "--n", "8", "--k", "1"])
         assert code == 2
+
+
+class TestScenariosCommand:
+    def test_list_names(self, capsys):
+        code = main(["scenarios", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gap-hamming" in out
+        assert "multiparty-star" in out
+
+    def test_single_scenario_emits_canonical_json(self, capsys):
+        code = main([
+            "scenarios", "--only", "exact-iblt-hamming", "--seed", "7",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["schema"] == "repro.scenarios/v1"
+        assert document["failures"] == []
+        assert [s["name"] for s in document["scenarios"]] == ["exact-iblt-hamming"]
+        # Progress/status lines must stay off stdout (byte-determinism).
+        assert "ok" in captured.err
+
+    def test_output_file_and_determinism(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["scenarios", "--only", "strata-estimate", "--seed", "7"]
+        assert main(args + ["--output", str(first)]) == 0
+        assert main(args + ["--output", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_timings_flag_adds_wall_time(self, capsys):
+        code = main([
+            "scenarios", "--only", "setsofsets-patch", "--seed", "7", "--timings",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "wall_time_s" in document["scenarios"][0]
+
+    def test_unknown_scenario_name(self, capsys):
+        code = main(["scenarios", "--only", "nope"])
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err

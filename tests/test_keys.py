@@ -247,7 +247,7 @@ class TestFastVsSlowEMDProtocol:
         import numpy as np
 
         from repro.core import EMDProtocol
-        from repro.metric import HammingSpace, emd
+        from repro.metric import HammingSpace
         from repro.workloads import noisy_replica_pair
 
         space = HammingSpace(48)

@@ -16,7 +16,7 @@ from repro.hashing import PublicCoins
 from repro.lsh import BitSamplingMLSH
 from repro.metric import HammingSpace
 from repro.protocol import Channel
-from repro.workloads import noisy_replica_pair, perturb_point, random_far_point
+from repro.workloads import perturb_point, random_far_point
 
 
 def _setup(parties=3, n=16, k=1, seed=0):

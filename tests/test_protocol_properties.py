@@ -14,7 +14,6 @@ protocols across randomly generated instances and asserting the
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

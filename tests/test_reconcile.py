@@ -5,8 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.hashing import PublicCoins
-from repro.metric import GridSpace, HammingSpace, emd, emd_k
+from repro.metric import GridSpace, HammingSpace, emd
 from repro.protocol import Channel
 from repro.reconcile import (
     QuadtreeEMDProtocol,

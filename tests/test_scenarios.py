@@ -1,0 +1,121 @@
+"""The scenario harness: determinism, backend parity, report schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    DRIVERS,
+    ScenarioRunner,
+    ScenarioSpec,
+    builtin_scenarios,
+    render_report,
+)
+
+SEED = 7
+
+#: A cheap cross-backend subset (the python backend is ~10x slower on the
+#: sketch-heavy scenarios; three cover multiset, strata and XOR tables).
+CROSS_BACKEND = ("setsofsets-patch", "strata-estimate", "exact-iblt-hamming")
+
+
+@pytest.fixture(scope="module")
+def numpy_results():
+    return ScenarioRunner(backend="numpy").run_all(builtin_scenarios(SEED))
+
+
+class TestSpec:
+    def test_builtin_matrix_covers_every_driver(self):
+        protocols = {spec.protocol for spec in builtin_scenarios(0)}
+        assert protocols == set(DRIVERS)
+
+    def test_names_are_unique(self):
+        names = [spec.name for spec in builtin_scenarios(0)]
+        assert len(names) == len(set(names))
+
+    def test_rng_depends_on_seed_and_name(self):
+        a = ScenarioSpec("x", "gap", seed=1).rng().integers(0, 1 << 30)
+        b = ScenarioSpec("x", "gap", seed=2).rng().integers(0, 1 << 30)
+        c = ScenarioSpec("y", "gap", seed=1).rng().integers(0, 1 << 30)
+        same = ScenarioSpec("x", "gap", seed=1).rng().integers(0, 1 << 30)
+        assert a == same
+        assert len({int(a), int(b), int(c)}) == 3
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            ScenarioRunner().run(ScenarioSpec("nope", "no-such-protocol"))
+
+    def test_invalid_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            ScenarioRunner(backend="fortran")
+        with pytest.raises(ValueError):
+            ScenarioRunner(decode_mode="bogus")
+
+
+class TestRunner:
+    def test_matrix_succeeds_on_numpy(self, numpy_results):
+        failures = [r.spec.name for r in numpy_results if not r.success]
+        assert failures == []
+        assert all(r.backend == "numpy" for r in numpy_results)
+
+    def test_metrics_are_json_safe(self, numpy_results):
+        for result in numpy_results:
+            round_tripped = json.loads(json.dumps(result.metrics))
+            assert round_tripped == dict(result.metrics)
+            assert result.metrics["bits"] > 0
+            assert result.metrics["rounds"] >= 1
+            assert result.wall_time_s >= 0.0
+
+    def test_rerun_is_identical(self, numpy_results):
+        """Same seed, same backend: metrics (not timings) repeat exactly."""
+        runner = ScenarioRunner(backend="numpy")
+        for previous in numpy_results[:3]:
+            again = runner.run(previous.spec)
+            assert again.metrics == previous.metrics
+
+    def test_cross_backend_metrics_identical(self, numpy_results):
+        by_name = {r.spec.name: r for r in numpy_results}
+        runner = ScenarioRunner(backend="python")
+        for spec in builtin_scenarios(SEED):
+            if spec.name not in CROSS_BACKEND:
+                continue
+            python_result = runner.run(spec)
+            assert python_result.backend == "python"
+            assert python_result.metrics == by_name[spec.name].metrics
+
+    def test_decode_mode_rescan_matches(self, numpy_results):
+        by_name = {r.spec.name: r for r in numpy_results}
+        runner = ScenarioRunner(backend="numpy", decode_mode="rescan")
+        for spec in builtin_scenarios(SEED):
+            if spec.name != "exact-iblt-hamming":
+                continue
+            assert runner.run(spec).metrics == by_name[spec.name].metrics
+
+
+class TestReport:
+    def test_byte_identical_across_renders(self, numpy_results):
+        first = render_report(numpy_results, seed=SEED)
+        second = render_report(numpy_results, seed=SEED)
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_schema(self, numpy_results):
+        document = json.loads(render_report(numpy_results, seed=SEED))
+        assert document["schema"] == "repro.scenarios/v1"
+        assert document["seed"] == SEED
+        assert document["backends"] == ["numpy"]
+        assert document["failures"] == []
+        assert document["scenario_count"] == len(numpy_results)
+        for entry in document["scenarios"]:
+            assert set(entry) == {
+                "name", "protocol", "seed", "backend", "params", "metrics",
+            }
+            assert "wall_time_s" not in entry
+
+    def test_timings_are_opt_in(self, numpy_results):
+        document = json.loads(
+            render_report(numpy_results, seed=SEED, include_timings=True)
+        )
+        assert all("wall_time_s" in entry for entry in document["scenarios"])
