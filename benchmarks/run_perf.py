@@ -33,8 +33,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro.core.params import derive_emd_parameters
 from repro.hashing import Checksum, PairwiseHash, PrefixHasher, PublicCoins
-from repro.iblt import IBLT, cells_for_differences
+from repro.iblt import IBLT, RIBLT, cells_for_differences
+from repro.lsh.keys import PrefixKeyBuilder
+from repro.metric import HammingSpace
 
 FULL_N = 100_000
 QUICK_N = 20_000
@@ -86,6 +89,78 @@ def bench_prefix_keys(coins: PublicCoins, n: int, repeats: int) -> tuple[float, 
 
     def numpy_path():
         return hasher.prefix_digests_many(values, lengths)
+
+    numpy_path()
+    return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
+
+
+def bench_emd_keys(coins: PublicCoins, n: int, repeats: int) -> tuple[float, float]:
+    """Algorithm 1's unified key stream: the Mersenne-61 PrefixKeyBuilder's
+    per-level digests over a real derived prefix schedule, vectorised
+    (``prefix_digests_many``) vs the scalar per-point reference."""
+    space = HammingSpace(64)
+    rows = max(1, n // 10)
+    params = derive_emd_parameters(space, n=rows, k=4, max_total_hashes=32)
+    batch = params.family.sample_batch(coins, "bench-emd-mlsh", params.total_hashes)
+    builder = PrefixKeyBuilder(
+        batch, params.hash_counts, coins, "bench-emd-keys", key_bits=params.key_bits
+    )
+    points = space.sample(np.random.default_rng(0xE3D), rows)
+    values = batch.evaluate(points)
+    lengths = list(params.hash_counts)
+    value_lists = [[int(v) for v in row] for row in values]
+
+    def python_path():
+        return [builder.hasher.prefix_digests(row, lengths) for row in value_lists]
+
+    def numpy_path():
+        return builder.hasher.prefix_digests_many(values, lengths)
+
+    numpy_path()
+    return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
+
+
+def bench_emd_round(coins: PublicCoins, n: int, repeats: int) -> tuple[float, float]:
+    """One EMD level round: RIBLT insert (Alice) + delete (Bob) + decode,
+    per-pair scalar updates vs the array-native batch path."""
+    rng = np.random.default_rng(0xE3D2)
+    rows = max(32, n // 50)
+    dim, side, k, q = 4, 256, 5, 3
+    cells = 4 * q * q * k
+    keys = rng.choice(1 << 55, size=rows, replace=False).astype(np.uint64)
+    values = rng.integers(0, side, size=(rows, dim), dtype=np.int64)
+    differences = 2 * k
+    bob_keys = keys.copy()
+    bob_keys[:differences] = rng.choice(1 << 54, size=differences, replace=False).astype(
+        np.uint64
+    ) + np.uint64(1 << 54)
+    bob_values = values.copy()
+    bob_values[:differences] = rng.integers(0, side, size=(differences, dim))
+    key_list = keys.tolist()
+    value_list = [tuple(row) for row in values.tolist()]
+    bob_key_list = bob_keys.tolist()
+    bob_value_list = [tuple(row) for row in bob_values.tolist()]
+
+    def make_table() -> RIBLT:
+        return RIBLT(
+            coins, "bench-emd-round", cells=cells, q=q, key_bits=55, dim=dim, side=side
+        )
+
+    def python_path():
+        table = make_table()
+        for key, value in zip(key_list, value_list):
+            table.insert(key, value)
+        for key, value in zip(bob_key_list, bob_value_list):
+            table.delete(key, value)
+        result = table.decode()
+        assert result.success and result.pair_count == 2 * differences
+
+    def numpy_path():
+        table = make_table()
+        table.insert_batch(keys, values)
+        table.delete_batch(bob_keys, bob_values)
+        result = table.decode()
+        assert result.success and result.pair_count == 2 * differences
 
     numpy_path()
     return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
@@ -149,6 +224,8 @@ def run(n: int, repeats: int, quick: bool) -> dict:
 
     record("pairwise_hash", *bench_pairwise_hash(coins, n, repeats))
     record("prefix_keys", *bench_prefix_keys(coins, n, repeats))
+    record("emd_keys", *bench_emd_keys(coins, n, repeats))
+    record("emd_round", *bench_emd_round(coins, n, repeats))
     (build_py, build_np), (decode_py, decode_np) = bench_iblt(coins, n, repeats)
     record("iblt_build", build_py, build_np)
     record("iblt_decode", decode_py, decode_np)

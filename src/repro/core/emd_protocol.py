@@ -20,9 +20,11 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..hashing import PublicCoins
 from ..iblt.riblt import RIBLT
-from ..lsh.keys import PrefixKeyBuilder, VectorizedPrefixKeyBuilder
+from ..lsh.keys import PrefixKeyBuilder
 from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import ALICE, Channel
 from ..protocol.serialize import BitReader, BitWriter
@@ -31,6 +33,11 @@ from .params import EMDParameters, derive_emd_parameters
 from .repair import repair_point_set
 
 __all__ = ["EMDResult", "EMDProtocol"]
+
+
+def point_matrix(points: Sequence[Point], dim: int) -> np.ndarray:
+    """Points as the ``(n, dim)`` int64 matrix the RIBLT batch path takes."""
+    return np.asarray(points, dtype=np.int64).reshape(len(points), dim)
 
 
 @dataclass(frozen=True)
@@ -65,22 +72,16 @@ class EMDProtocol:
     Construct either from explicit parameters or via the convenience
     class method :meth:`for_instance` (which derives them per Section 3).
 
-    ``fast_keys`` (default True) computes level keys with the
-    numpy-vectorised dual rolling hash
-    (:class:`~repro.lsh.keys.VectorizedPrefixKeyBuilder`, 60-bit keys)
-    instead of the scalar Mersenne-field polynomial hash — identical
-    protocol semantics, ~30x faster key derivation.
+    All levels are keyed through the single vectorised Mersenne-61
+    :class:`~repro.lsh.keys.PrefixKeyBuilder` stream at the
+    ``Θ(log n)``-bit width of :attr:`EMDParameters.key_bits`; the
+    resulting ``uint64`` key matrix feeds the per-level RIBLTs through
+    their array-native batch insert/delete path.
     """
 
-    def __init__(
-        self,
-        space: MetricSpace,
-        parameters: EMDParameters,
-        fast_keys: bool = True,
-    ):
+    def __init__(self, space: MetricSpace, parameters: EMDParameters):
         self.space = space
         self.parameters = parameters
-        self.fast_keys = fast_keys
 
     @classmethod
     def for_instance(
@@ -93,7 +94,6 @@ class EMDProtocol:
         m_bound: float | None = None,
         q: int = 3,
         max_total_hashes: int | None = None,
-        fast_keys: bool = True,
     ) -> "EMDProtocol":
         """Derive parameters (see :func:`derive_emd_parameters`) and build."""
         parameters = derive_emd_parameters(
@@ -106,22 +106,12 @@ class EMDProtocol:
             q=q,
             max_total_hashes=max_total_hashes,
         )
-        return cls(space, parameters, fast_keys=fast_keys)
+        return cls(space, parameters)
 
     # -- shared machinery ----------------------------------------------------
-    @property
-    def _effective_key_bits(self) -> int:
-        if self.fast_keys:
-            return VectorizedPrefixKeyBuilder.KEY_BITS
-        return self.parameters.key_bits
-
-    def _key_builder(self, coins: PublicCoins):
+    def _key_builder(self, coins: PublicCoins) -> PrefixKeyBuilder:
         p = self.parameters
         batch = p.family.sample_batch(coins, "emd-mlsh", p.total_hashes)
-        if self.fast_keys:
-            return VectorizedPrefixKeyBuilder(
-                batch, p.hash_counts, coins, "emd-keys"
-            )
         return PrefixKeyBuilder(
             batch,
             p.hash_counts,
@@ -137,7 +127,7 @@ class EMDProtocol:
             ("emd-riblt", level),
             cells=p.cells,
             q=p.q,
-            key_bits=self._effective_key_bits,
+            key_bits=p.key_bits,
             dim=self.space.dim,
             side=self.space.side,
         )
@@ -168,14 +158,12 @@ class EMDProtocol:
         builder = self._key_builder(coins)
 
         # ---- Alice: build and send all t RIBLTs --------------------------
-        alice_keys = builder.keys_for(alice_points)  # (n, t)
+        alice_keys = builder.keys_for(alice_points)  # (n, t) uint64
+        alice_values = point_matrix(alice_points, self.space.dim)
         writer = BitWriter()
         for level in range(p.levels):
             table = self._table(coins, level)
-            table.insert_pairs(
-                (int(key), point)
-                for key, point in zip(alice_keys[:, level].tolist(), alice_points)
-            )
+            table.insert_batch(alice_keys[:, level], alice_values)
             write_riblt_cells(writer, table)
         payload = channel.send(ALICE, "emd-riblts", writer.getvalue(), writer.bit_length)
 
@@ -186,6 +174,7 @@ class EMDProtocol:
             for level in range(p.levels)
         ]
         bob_keys = builder.keys_for(bob_points)
+        bob_values = point_matrix(bob_points, self.space.dim)
         decode_rng = decode_rng if decode_rng is not None else random.Random(0xB0B)
 
         decoded_level: int | None = None
@@ -194,10 +183,7 @@ class EMDProtocol:
         decoded_pairs = 0
         for level in range(p.levels - 1, -1, -1):
             table = loaded[level]
-            table.delete_pairs(
-                (int(key), point)
-                for key, point in zip(bob_keys[:, level].tolist(), bob_points)
-            )
+            table.delete_batch(bob_keys[:, level], bob_values)
             outcome = table.decode(decode_rng)
             if outcome.success and outcome.pair_count <= p.accept_pairs:
                 decoded_level = level

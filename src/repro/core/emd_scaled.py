@@ -24,7 +24,7 @@ from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import ALICE, Channel
 from ..protocol.serialize import BitReader, BitWriter
 from ..protocol.tables import read_riblt_cells, write_riblt_cells
-from .emd_protocol import EMDProtocol
+from .emd_protocol import EMDProtocol, point_matrix
 from .params import default_distance_bounds, derive_emd_parameters
 from .repair import repair_point_set
 
@@ -132,6 +132,7 @@ class ScaledEMDProtocol:
         # ---- Alice: every interval's tables in one message ----------------
         writer = BitWriter()
         builders: list[PrefixKeyBuilder] = []
+        alice_values = point_matrix(alice_points, self.space.dim)
         for j, instance in enumerate(self.instances):
             interval_coins = coins.child("scaled-emd", j)
             builder = instance._key_builder(interval_coins)
@@ -139,8 +140,7 @@ class ScaledEMDProtocol:
             keys = builder.keys_for(alice_points)
             for level in range(instance.parameters.levels):
                 table = instance._table(interval_coins, level)
-                for row, point in enumerate(alice_points):
-                    table.insert(int(keys[row, level]), point)
+                table.insert_batch(keys[:, level], alice_values)
                 write_riblt_cells(writer, table)
         payload = channel.send(
             ALICE, "scaled-emd-riblts", writer.getvalue(), writer.bit_length
@@ -148,6 +148,7 @@ class ScaledEMDProtocol:
 
         # ---- Bob: decode per interval, smallest index wins ----------------
         reader = BitReader(payload)
+        bob_values = point_matrix(bob_points, self.space.dim)
         outcome_per_interval: list[tuple[int, list[Point], list[Point], int] | None] = []
         for j, instance in enumerate(self.instances):
             interval_coins = coins.child("scaled-emd", j)
@@ -160,8 +161,7 @@ class ScaledEMDProtocol:
             found: tuple[int, list[Point], list[Point], int] | None = None
             for level in range(p.levels - 1, -1, -1):
                 table = loaded[level]
-                for row, point in enumerate(bob_points):
-                    table.delete(int(bob_keys[row, level]), point)
+                table.delete_batch(bob_keys[:, level], bob_values)
                 outcome = table.decode(decode_rng)
                 if outcome.success and outcome.pair_count <= p.accept_pairs:
                     found = (

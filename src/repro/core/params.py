@@ -12,7 +12,8 @@ Algorithm 1's inputs (Section 3):
 
 From these the protocol derives:
 
-* ``t = log2(D2/D1) + 1`` resolution levels;
+* ``t = ceil(log2(D2/D1)) + 1`` resolution levels (so the coarsest level's
+  effective scale ``D1·2^{t-1}`` reaches ``D2``);
 * level ``i`` keys hash the first
   ``c_i = 2^{i-1}·s·D1/D2 = 2^{i-4}·k/(D2·ln(1/p))`` MLSH values
   (``s = k/(8·D1·ln(1/p))``), so at the exact ``p`` bound ``c_1 = 3``
@@ -143,7 +144,11 @@ def derive_emd_parameters(
         raise ValueError(f"need 0 < D1 <= D2, got D1={d1}, D2={d2}")
 
     family, _ = _mlsh_width_for(space, k, d2, m_bound)
-    levels = max(1, math.floor(math.log2(d2 / d1)) + 1)
+    # ceil, not floor: with t = ceil(log2(D2/D1)) + 1 levels the coarsest
+    # level's effective scale D1·2^{t-1} reaches D2, so the level set covers
+    # all of [D1, D2] as Theorem 3.4 assumes even when D2/D1 is not a power
+    # of two (floor under-covered the top of the range in that case).
+    levels = max(1, math.ceil(math.log2(d2 / d1)) + 1)
 
     # c_i = 2^{i-1} * k / (8 * D2 * ln(1/p)); at the exact p bound this is
     # 3 * 2^{i-1}.

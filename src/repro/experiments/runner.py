@@ -73,12 +73,19 @@ class ScenarioRunner:
         with _scoped_env("REPRO_BACKEND", self.backend):
             with _scoped_env("REPRO_DECODE", self.decode_mode):
                 backend = default_backend()
-                default_decode_mode()  # fail fast on an invalid env value
+                # Resolve (and fail fast on) the decode-mode knob so the
+                # report records it; only the numpy backend's decoder
+                # consults it (the python reference has a single peeler).
+                decode_mode = default_decode_mode()
                 start = time.perf_counter()
                 metrics = driver(spec, spec.rng(), spec.coins())
                 elapsed = time.perf_counter() - start
         return ScenarioResult(
-            spec=spec, backend=backend, metrics=metrics, wall_time_s=elapsed
+            spec=spec,
+            backend=backend,
+            decode_mode=decode_mode,
+            metrics=metrics,
+            wall_time_s=elapsed,
         )
 
     def run_all(self, specs: Iterable[ScenarioSpec]) -> list[ScenarioResult]:
@@ -92,14 +99,19 @@ def render_report(
 ) -> str:
     """The canonical JSON report (ends with a newline).
 
-    Byte-deterministic for a fixed seed/backend unless ``include_timings``
-    is set: keys are sorted, scenario order follows the input order, and
-    all metric floats were rounded by the drivers.
+    Byte-deterministic for a fixed seed/backend/decode-mode unless
+    ``include_timings`` is set: keys are sorted, scenario order follows
+    the input order, and all metric floats were rounded by the drivers.
+    Every result records both its resolved ``backend`` and
+    ``decode_mode`` (additively, next to the document-level ``backends``
+    and ``decode_modes`` sets), so a frontier report is distinguishable
+    from a rescan report.
     """
     document = {
         "schema": SCHEMA,
         "seed": seed,
         "backends": sorted({result.backend for result in results}),
+        "decode_modes": sorted({result.decode_mode for result in results}),
         "scenario_count": len(results),
         "failures": sorted(
             result.spec.name for result in results if not result.success

@@ -4,12 +4,7 @@ from .base import LSHBatch, LSHFamily, LSHParams, MLSHFamily, batches_for_p2_hal
 from .bit_sampling import BitSamplingBatch, BitSamplingMLSH
 from .distance_bloom import DistanceSensitiveBloomFilter, DSBFParameters
 from .grid import GridBatch, GridMLSH, fold_cells
-from .keys import (
-    BatchKeyBuilder,
-    PrefixKeyBuilder,
-    VectorizedPrefixKeyBuilder,
-    key_bits_for,
-)
+from .keys import BatchKeyBuilder, PrefixKeyBuilder, key_bits_for
 from .onesided import OneSidedGridLSH
 from .pstable import PStableBatch, PStableMLSH, pstable_collision_probability
 
@@ -28,7 +23,6 @@ __all__ = [
     "fold_cells",
     "BatchKeyBuilder",
     "PrefixKeyBuilder",
-    "VectorizedPrefixKeyBuilder",
     "key_bits_for",
     "OneSidedGridLSH",
     "PStableBatch",

@@ -13,6 +13,12 @@ Both protocols turn a point's vector of LSH values into compact *keys*:
 
 Key widths are ``Θ(log n)`` bits; both parties construct builders from the
 same public coins so keys agree without communication.
+
+:class:`PrefixKeyBuilder` is the *single* EMD key stream: its rolling hash
+runs over the Mersenne-61 field, fully vectorised via
+:meth:`~repro.hashing.PrefixHasher.prefix_digests_many`, and every caller
+(:class:`~repro.core.emd_protocol.EMDProtocol`, its interval-scaled
+wrapper, experiments, benchmarks) keys all resolution levels through it.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from ..hashing import PrefixHasher, PublicCoins, VectorHash
 from ..metric.spaces import Point
 from .base import LSHBatch
 
-__all__ = ["PrefixKeyBuilder", "VectorizedPrefixKeyBuilder", "BatchKeyBuilder", "key_bits_for"]
+__all__ = ["PrefixKeyBuilder", "BatchKeyBuilder", "key_bits_for"]
 
 
 def key_bits_for(n: int, slack_bits: int = 20) -> int:
@@ -183,75 +189,3 @@ class BatchKeyBuilder:
             agreement = (block[:, None, :] == candidates[None, :, :]).sum(axis=2)
             best[start : start + block.shape[0]] = agreement.max(axis=1)
         return best
-
-
-class VectorizedPrefixKeyBuilder:
-    """A numpy-vectorised drop-in for :class:`PrefixKeyBuilder`.
-
-    Runs *two* independent 31/29-bit modular rolling hashes over the MLSH
-    value stream, keeping per-point state in int64 arrays so the whole
-    point set advances one hash step per numpy operation (O(c_t) vector
-    ops instead of O(n·c_t) Python-level ops — a ~30x speedup on the EMD
-    protocol's hot path for realistic sizes).  Level keys combine the two
-    states into one 60-bit integer, so collision probability per pair and
-    level is ``~(c_t)^2 / (P1·P2) ~ 2^-60·c_t^2`` — comfortably
-    ``1/poly(n)``.
-
-    The output key width is fixed at :data:`KEY_BITS` (60); callers size
-    their tables accordingly.
-    """
-
-    KEY_BITS = 60
-
-    _P1 = (1 << 31) - 1  # Mersenne prime
-    _P2 = (1 << 29) - 3  # prime
-
-    def __init__(
-        self,
-        batch: LSHBatch,
-        prefix_lengths: Sequence[int],
-        coins: PublicCoins,
-        label: object,
-    ):
-        if not prefix_lengths:
-            raise ValueError("at least one prefix length is required")
-        lengths = [int(length) for length in prefix_lengths]
-        if any(length < 1 for length in lengths):
-            raise ValueError(f"prefix lengths must be >= 1, got {lengths}")
-        if any(b < a for a, b in zip(lengths, lengths[1:])):
-            raise ValueError(f"prefix lengths must be non-decreasing, got {lengths}")
-        if lengths[-1] > batch.count:
-            raise ValueError(
-                f"largest prefix {lengths[-1]} exceeds batch size {batch.count}"
-            )
-        self.batch = batch
-        self.prefix_lengths = lengths
-        self.levels = len(lengths)
-        self.key_bits = self.KEY_BITS
-        rng = coins.python_rng("vectorized-prefix", label)
-        self.r1 = rng.randrange(2, self._P1)
-        self.r2 = rng.randrange(2, self._P2)
-        self.b1 = rng.randrange(0, self._P1)
-        self.b2 = rng.randrange(0, self._P2)
-
-    def keys_for(self, points: Sequence[Point]) -> np.ndarray:
-        """The ``(len(points), levels)`` object matrix of level keys."""
-        if not points:
-            return np.empty((0, self.levels), dtype=object)
-        values = self.batch.evaluate(points)  # (n, c_t) int64
-        n = values.shape[0]
-        state1 = np.full(n, self.b1, dtype=np.int64)
-        state2 = np.full(n, self.b2, dtype=np.int64)
-        keys = np.empty((n, self.levels), dtype=object)
-        consumed = 0
-        for level, length in enumerate(self.prefix_lengths):
-            for column in range(consumed, length):
-                v1 = values[:, column] % self._P1
-                v2 = values[:, column] % self._P2
-                # state * r < 2^62, + v < 2^62 + 2^31: fits int64 exactly.
-                state1 = (state1 * self.r1 + v1) % self._P1
-                state2 = (state2 * self.r2 + v2) % self._P2
-            consumed = length
-            combined = state1.astype(object) + (state2.astype(object) << 31)
-            keys[:, level] = combined
-        return keys

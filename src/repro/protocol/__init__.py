@@ -2,6 +2,7 @@
 
 from .channel import ALICE, BOB, Channel, Message, TranscriptSummary
 from .serialize import (
+    VARUINT_MAX_GROUPS,
     BitReader,
     BitWriter,
     coordinate_bits,
@@ -28,6 +29,7 @@ __all__ = [
     "Channel",
     "Message",
     "TranscriptSummary",
+    "VARUINT_MAX_GROUPS",
     "BitReader",
     "BitWriter",
     "coordinate_bits",

@@ -19,12 +19,21 @@ from ..metric.spaces import MetricSpace, Point
 __all__ = [
     "BitWriter",
     "BitReader",
+    "VARUINT_MAX_GROUPS",
     "coordinate_bits",
     "write_point",
     "read_point",
     "write_points",
     "read_points",
 ]
+
+
+#: Varint group budget shared by writer and reader.  19 groups carry
+#: ``19 · 7 = 133`` payload bits — enough for any legitimate cell sum
+#: (``2^31`` pairs of 61-bit keys stay below ``2^93``, well under the
+#: cap even after zigzag) while bounding how far a malformed stream can
+#: drag :meth:`BitReader.read_varuint`.
+VARUINT_MAX_GROUPS = 19
 
 
 class BitWriter:
@@ -59,10 +68,20 @@ class BitWriter:
             self.write_bit((value >> position) & 1)
 
     def write_varuint(self, value: int) -> None:
-        """LEB128-style varint: 7 value bits + 1 continuation bit per group."""
+        """LEB128-style varint: 7 value bits + 1 continuation bit per group.
+
+        Values are capped at :data:`VARUINT_MAX_GROUPS` groups (133 bits)
+        so the reader can bound malformed streams without ever rejecting a
+        legitimately written value.
+        """
         value = int(value)
         if value < 0:
             raise ValueError(f"write_varuint requires value >= 0, got {value}")
+        if value.bit_length() > 7 * VARUINT_MAX_GROUPS:
+            raise ValueError(
+                f"value {value} needs more than {VARUINT_MAX_GROUPS} varuint "
+                f"groups ({7 * VARUINT_MAX_GROUPS} bits)"
+            )
         while True:
             group = value & 0x7F
             value >>= 7
@@ -103,20 +122,34 @@ class BitReader:
         return (self._data[byte_index] >> bit_index) & 1
 
     def read_uint(self, bits: int) -> int:
+        """Read a fixed-width unsigned integer (mirrors ``write_uint``)."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
         value = 0
         for position in range(bits):
             value |= self.read_bit() << position
         return value
 
     def read_varuint(self) -> int:
+        """Read a varuint; raises on malformed or truncated streams.
+
+        A stream still asking for continuation after
+        :data:`VARUINT_MAX_GROUPS` groups cannot have come from
+        :meth:`BitWriter.write_varuint` and raises ``ValueError``;
+        running out of bits mid-value raises ``EOFError``.
+        """
         value = 0
         shift = 0
-        while True:
+        for _group in range(VARUINT_MAX_GROUPS):
             more = self.read_bit()
             value |= self.read_uint(7) << shift
             shift += 7
             if not more:
                 return value
+        raise ValueError(
+            f"malformed varuint: more than {VARUINT_MAX_GROUPS} continuation "
+            "groups"
+        )
 
     def read_varint(self) -> int:
         raw = self.read_varuint()

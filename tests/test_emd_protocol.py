@@ -13,8 +13,9 @@ from repro.core import (
     repair_point_set,
 )
 from repro.hashing import PublicCoins
+from repro.lsh import key_bits_for
 from repro.metric import GridSpace, HammingSpace, emd, emd_k
-from repro.protocol import Channel
+from repro.protocol import BitWriter, Channel, write_riblt_cells
 from repro.workloads import noisy_replica_pair
 
 
@@ -30,6 +31,17 @@ class TestParameterDerivation:
         space = HammingSpace(32)
         params = derive_emd_parameters(space, n=64, k=2, d1=1.0, d2=1024.0)
         assert params.levels == 11  # log2(1024) + 1
+
+    def test_levels_cover_range_for_non_power_of_two_ratio(self):
+        """ceil, not floor: the coarsest level's effective scale
+        D1 * 2^(t-1) must reach D2 even when D2/D1 is not a power of two
+        (Theorem 3.4 promises coverage of all of [D1, D2])."""
+        space = HammingSpace(32)
+        for d1, d2 in ((1.0, 1000.0), (3.0, 100.0), (1.0, 5.0), (2.0, 2.0)):
+            params = derive_emd_parameters(space, n=64, k=2, d1=d1, d2=d2)
+            assert d1 * 2 ** (params.levels - 1) >= d2
+        params = derive_emd_parameters(space, n=64, k=2, d1=1.0, d2=1000.0)
+        assert params.levels == 11  # ceil(log2(1000)) + 1, not floor + 1 = 10
 
     def test_hash_counts_double(self):
         space = HammingSpace(32)
@@ -242,3 +254,51 @@ class TestScaledEMDProtocol:
         result = protocol.run(points, points, coins)
         assert result.success
         assert result.chosen_interval == 0
+
+
+class TestUnifiedKeyStream:
+    """The single Mersenne-61 PrefixKeyBuilder stream end to end: the
+    derived Θ(log n) key width (61 bits for large n) flows from the
+    builder into every per-level ``RIBLT(key_bits=...)`` and into the
+    measured communication accounting."""
+
+    def test_61_bit_width_reaches_tables_and_accounting(self):
+        space = HammingSpace(32)
+        # n large enough that key_bits_for saturates at the full 61-bit
+        # field width; the run itself uses few points (the protocol only
+        # requires |S_A| = |S_B|, not = n).
+        params = derive_emd_parameters(
+            space, n=1 << 21, k=1, d1=1.0, d2=64.0, max_total_hashes=48
+        )
+        assert params.key_bits == key_bits_for(1 << 21) == 61
+        protocol = EMDProtocol(space, params)
+        coins = PublicCoins(3)
+        builder = protocol._key_builder(coins)
+        assert builder.key_bits == 61
+        tables = [protocol._table(coins, level) for level in range(params.levels)]
+        assert all(table.key_bits == 61 for table in tables)
+
+        points = space.sample(np.random.default_rng(0), 8)
+        channel = Channel()
+        result = protocol.run(points, points, coins, channel)
+        assert result.success
+        assert result.total_bits == channel.total_bits
+
+        # The measured bits are exactly the serialized per-level tables
+        # built from the unified 61-bit key stream.
+        keys = builder.keys_for(points)
+        values = np.asarray(points, dtype=np.int64)
+        writer = BitWriter()
+        for level, table in enumerate(tables):
+            table.insert_batch(keys[:, level], values)
+            write_riblt_cells(writer, table)
+        assert channel.summary().by_label["emd-riblts"] == writer.bit_length
+
+    def test_key_width_matches_derived_parameters(self, coins):
+        space = HammingSpace(24)
+        protocol = EMDProtocol.for_instance(space, n=16, k=1)
+        p = protocol.parameters
+        assert p.key_bits == key_bits_for(16)
+        assert protocol._key_builder(coins).key_bits == p.key_bits
+        assert protocol._table(coins, 0).key_bits == p.key_bits
+        assert not hasattr(protocol, "fast_keys")

@@ -187,81 +187,48 @@ class TestBatchKeyBuilder:
         assert BatchKeyBuilder.matches(keys[0], keys[1]) <= 1
 
 
-class TestVectorizedPrefixKeyBuilder:
-    def _builders(self, family, lengths=(1, 2, 4, 8)):
-        from repro.lsh import VectorizedPrefixKeyBuilder
+class TestPrefixKeyBuilderScalarParity:
+    """The unified Mersenne-61 key stream, pinned the same way the IBLT
+    backends are: the vectorised ``keys_for`` matrix must be bit-identical
+    to a scalar per-point :class:`~repro.hashing.PrefixHasher` reference,
+    whichever backend the process default selects."""
 
-        coins = PublicCoins(77)
-        batch = family.sample_batch(coins, "v", max(lengths))
-        return VectorizedPrefixKeyBuilder(batch, lengths, coins, "vk")
+    LENGTHS = (1, 3, 4, 9)
 
-    def test_shape_and_range(self, family, rng):
-        builder = self._builders(family)
-        keys = builder.keys_for(HammingSpace(16).sample(rng, 6))
-        assert keys.shape == (6, 4)
-        for key in keys.flat:
-            assert 0 <= int(key) < (1 << builder.key_bits)
-
-    def test_empty(self, family):
-        assert self._builders(family).keys_for([]).shape == (0, 4)
-
-    def test_shared_between_parties(self, family, rng):
-        from repro.lsh import VectorizedPrefixKeyBuilder
-
-        points = HammingSpace(16).sample(rng, 5)
-
-        def build(seed):
-            coins = PublicCoins(seed)
-            batch = family.sample_batch(coins, "v", 8)
-            return VectorizedPrefixKeyBuilder(batch, (2, 8), coins, "vk").keys_for(points)
-
-        assert (build(9) == build(9)).all()
-
-    def test_identical_points_identical_keys(self, family):
-        builder = self._builders(family)
-        point = (0, 1) * 8
-        keys = builder.keys_for([point, point])
-        assert (keys[0] == keys[1]).all()
-
-    def test_distinct_levels_distinct_keys(self, family, rng):
-        builder = self._builders(family)
-        keys = builder.keys_for(HammingSpace(16).sample(rng, 3))
-        for row in keys:
-            assert len({int(v) for v in row}) > 1
-
-    def test_rejects_bad_lengths(self, family):
-        from repro.lsh import VectorizedPrefixKeyBuilder
-
-        coins = PublicCoins(1)
-        batch = family.sample_batch(coins, "v", 4)
-        with pytest.raises(ValueError):
-            VectorizedPrefixKeyBuilder(batch, (4, 2), coins, "vk")
-        with pytest.raises(ValueError):
-            VectorizedPrefixKeyBuilder(batch, (), coins, "vk")
-        with pytest.raises(ValueError):
-            VectorizedPrefixKeyBuilder(batch, (8,), coins, "vk")
-
-
-class TestFastVsSlowEMDProtocol:
-    def test_both_backends_run_and_agree_on_success(self, rng):
-        import numpy as np
-
-        from repro.core import EMDProtocol
-        from repro.metric import HammingSpace
-        from repro.workloads import noisy_replica_pair
-
-        space = HammingSpace(48)
-        workload = noisy_replica_pair(
-            space, n=12, k=1, close_radius=1, far_radius=16,
-            rng=np.random.default_rng(0),
+    def _builder_and_points(self, key_bits=61):
+        space = HammingSpace(32)
+        family = BitSamplingMLSH(space, w=64.0)
+        coins = PublicCoins(123)
+        batch = family.sample_batch(coins, "parity", max(self.LENGTHS))
+        builder = PrefixKeyBuilder(
+            batch, self.LENGTHS, coins, "parity-keys", key_bits=key_bits
         )
-        results = {}
-        for fast in (True, False):
-            protocol = EMDProtocol.for_instance(space, n=12, k=1, fast_keys=fast)
-            results[fast] = protocol.run(
-                workload.alice, workload.bob, PublicCoins(5)
+        points = space.sample(np.random.default_rng(5), 20)
+        return builder, points
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_keys_match_scalar_reference(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        builder, points = self._builder_and_points()
+        keys = builder.keys_for(points)
+        assert keys.dtype == np.uint64
+        values = builder.batch.evaluate(points)
+        for row in range(len(points)):
+            expected = builder.hasher.prefix_digests(
+                [int(v) for v in values[row]], list(self.LENGTHS)
             )
-        assert results[True].success and results[False].success
-        # Different hash families -> possibly different decodes, but both
-        # must deliver valid same-size outputs.
-        assert len(results[True].bob_final) == len(results[False].bob_final) == 12
+            assert keys[row].tolist() == expected
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_folded_widths_match_scalar_reference(self, backend, monkeypatch):
+        """Key widths below 61 fold identically on both paths."""
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        builder, points = self._builder_and_points(key_bits=28)
+        keys = builder.keys_for(points)
+        assert int(keys.max()) < (1 << 28)
+        values = builder.batch.evaluate(points)
+        for row in range(0, len(points), 5):
+            expected = builder.hasher.prefix_digests(
+                [int(v) for v in values[row]], list(self.LENGTHS)
+            )
+            assert keys[row].tolist() == expected

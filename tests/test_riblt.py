@@ -259,3 +259,94 @@ def test_decode_recovers_distinct_pairs_property(seed, pairs):
     result = table.decode(random.Random(seed))
     assert result.success
     assert sorted(result.inserted) == sorted(inserted.items())
+
+
+class TestBatchParity:
+    """The array-native batch path must be bit-identical to per-pair
+    updates — it is what the EMD protocol now feeds its uint64 key
+    matrices through."""
+
+    def _random_pairs(self, rng, count, key_bits=32, dim=3, side=64):
+        keys = rng.choice(1 << key_bits, size=count, replace=False).astype(np.uint64)
+        values = rng.integers(0, side, size=(count, dim), dtype=np.int64)
+        return keys, values
+
+    @given(seed=st.integers(min_value=0, max_value=2000),
+           count=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_insert_batch_matches_per_pair(self, seed, count):
+        rng = np.random.default_rng(seed)
+        coins = PublicCoins(seed)
+        keys, values = self._random_pairs(rng, count)
+        batch_table = _table(coins, label="bp")
+        pair_table = _table(coins, label="bp")
+        batch_table.insert_batch(keys, values)
+        pair_table.insert_pairs(
+            (int(key), tuple(int(v) for v in row))
+            for key, row in zip(keys.tolist(), values.tolist())
+        )
+        assert batch_table.counts == pair_table.counts
+        assert batch_table.key_sum == pair_table.key_sum
+        assert batch_table.check_sum == pair_table.check_sum
+        assert batch_table.value_sum == pair_table.value_sum
+
+    def test_delete_batch_cancels_insert_batch(self, coins):
+        rng = np.random.default_rng(9)
+        keys, values = self._random_pairs(rng, 20)
+        table = _table(coins, label="bp2")
+        table.insert_batch(keys, values)
+        table.delete_batch(keys, values)
+        assert table.is_empty()
+        assert table.residual_value_mass() == 0
+
+    def test_batch_decode_matches_pairs_decode(self, coins):
+        rng = np.random.default_rng(11)
+        keys, values = self._random_pairs(rng, 12)
+        batch_table = _table(coins, label="bp3")
+        batch_table.insert_batch(keys, values)
+        result = batch_table.decode(random.Random(3))
+        assert result.success
+        expected = sorted(
+            (int(key), tuple(int(v) for v in row))
+            for key, row in zip(keys.tolist(), values.tolist())
+        )
+        assert sorted(result.inserted) == expected
+
+    def test_batch_validates_key_range(self, coins):
+        table = _table(coins, key_bits=8, label="bp4")
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([300], dtype=np.uint64), np.zeros((1, 3), dtype=np.int64)
+            )
+
+    def test_batch_validates_shape(self, coins):
+        table = _table(coins, label="bp5")
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([1], dtype=np.uint64), np.zeros((1, 2), dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.ones((2, 2), dtype=np.uint64), np.zeros((2, 3), dtype=np.int64)
+            )
+
+    def test_empty_batch_noop(self, coins):
+        table = _table(coins, label="bp6")
+        table.insert_batch(
+            np.empty(0, dtype=np.uint64), np.empty((0, 3), dtype=np.int64)
+        )
+        assert table.is_empty()
+
+    def test_overflow_guard_falls_back_exactly(self, coins):
+        """Huge coordinates route through the per-pair path, still exact."""
+        keys = np.array([1, 2, 3], dtype=np.uint64)
+        values = np.full((3, 3), (1 << 61), dtype=np.int64)
+        batch_table = _table(coins, side=1 << 62, label="bp7")
+        pair_table = _table(coins, side=1 << 62, label="bp7")
+        batch_table.insert_batch(keys, values)
+        pair_table.insert_pairs(
+            (int(key), tuple(int(v) for v in row))
+            for key, row in zip(keys.tolist(), values.tolist())
+        )
+        assert batch_table.key_sum == pair_table.key_sum
+        assert batch_table.value_sum == pair_table.value_sum

@@ -91,7 +91,15 @@ class TestRunner:
         for spec in builtin_scenarios(SEED):
             if spec.name != "exact-iblt-hamming":
                 continue
-            assert runner.run(spec).metrics == by_name[spec.name].metrics
+            rescan = runner.run(spec)
+            assert rescan.metrics == by_name[spec.name].metrics
+            assert rescan.decode_mode == "rescan"
+
+    def test_resolved_decode_mode_recorded(self, numpy_results):
+        assert all(r.decode_mode in ("frontier", "rescan") for r in numpy_results)
+        forced = ScenarioRunner(backend="numpy", decode_mode="frontier")
+        result = forced.run(builtin_scenarios(SEED)[5])
+        assert result.decode_mode == "frontier"
 
 
 class TestReport:
@@ -106,12 +114,15 @@ class TestReport:
         assert document["schema"] == "repro.scenarios/v1"
         assert document["seed"] == SEED
         assert document["backends"] == ["numpy"]
+        assert document["decode_modes"] == sorted({r.decode_mode for r in numpy_results})
         assert document["failures"] == []
         assert document["scenario_count"] == len(numpy_results)
         for entry in document["scenarios"]:
             assert set(entry) == {
-                "name", "protocol", "seed", "backend", "params", "metrics",
+                "name", "protocol", "seed", "backend", "decode_mode",
+                "params", "metrics",
             }
+            assert entry["decode_mode"] in ("frontier", "rescan")
             assert "wall_time_s" not in entry
 
     def test_timings_are_opt_in(self, numpy_results):

@@ -10,6 +10,7 @@ from repro.metric import GridSpace, HammingSpace
 from repro.protocol import (
     ALICE,
     BOB,
+    VARUINT_MAX_GROUPS,
     BitReader,
     BitWriter,
     Channel,
@@ -118,6 +119,67 @@ class TestBitWriterReader:
             writer.write_uint(value, bits)
         reader = BitReader(writer.getvalue())
         assert [reader.read_uint(bits) for _, bits in pairs] == [v for v, _ in pairs]
+
+
+class TestMalformedStreams:
+    """read_uint / read_varuint must mirror the writer's validation and
+    fail loudly on malformed or truncated input instead of returning 0
+    or spinning through unbounded continuation groups."""
+
+    def test_read_uint_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\xff").read_uint(-1)
+
+    def test_read_uint_zero_bits(self):
+        assert BitReader(b"").read_uint(0) == 0
+
+    def test_varuint_group_cap_round_trips_at_boundary(self):
+        boundary = (1 << (7 * VARUINT_MAX_GROUPS)) - 1
+        writer = BitWriter()
+        writer.write_varuint(boundary)
+        assert BitReader(writer.getvalue()).read_varuint() == boundary
+
+    def test_write_varuint_rejects_over_cap(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_varuint(1 << (7 * VARUINT_MAX_GROUPS))
+
+    def test_write_varint_rejects_over_cap(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_varint(1 << (7 * VARUINT_MAX_GROUPS))
+
+    def test_unbounded_continuation_rejected(self):
+        """All-ones bytes assert a continuation bit in every group."""
+        endless = b"\xff" * (VARUINT_MAX_GROUPS + 2)
+        with pytest.raises(ValueError, match="malformed varuint"):
+            BitReader(endless).read_varuint()
+
+    def test_truncated_varuint_raises_eof(self):
+        writer = BitWriter()
+        writer.write_varuint(1 << 40)
+        payload = writer.getvalue()
+        for cut in range(len(payload)):
+            with pytest.raises(EOFError):
+                BitReader(payload[:cut]).read_varuint()
+
+    @given(st.integers(min_value=1 << 7, max_value=1 << 128))
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_varuint_property(self, value):
+        """Any multi-byte varuint cut anywhere strictly inside raises."""
+        writer = BitWriter()
+        writer.write_varuint(value)
+        payload = writer.getvalue()
+        reader = BitReader(payload[: len(payload) // 2])
+        with pytest.raises(EOFError):
+            reader.read_varuint()
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 133) - 1), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_varuint_roundtrip_within_cap(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_varuint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_varuint() for _ in values] == values
 
 
 class TestPointSerialization:
