@@ -34,6 +34,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np
 
 from repro.core.params import derive_emd_parameters
+from repro.experiments.sweeps import SweepRunner, SweepSpec, render_sweep_report
 from repro.hashing import Checksum, PairwiseHash, PrefixHasher, PublicCoins
 from repro.iblt import IBLT, RIBLT, cells_for_differences
 from repro.lsh.keys import PrefixKeyBuilder
@@ -46,6 +47,14 @@ QUICK_N = 20_000
 DIFF_FRACTION = 0.01
 
 REGRESSION_FACTOR = 2.0
+
+#: Kernels tracked in the report but excluded from the regression floor.
+#: ``sweep_trials`` compares serial vs. a 2-worker pool, so its "speedup"
+#: is parallel efficiency — a function of the *host's* core count, unlike
+#: the python-vs-numpy ratios the same-machine gate was designed around
+#: (a baseline recorded on a many-core box would fail spuriously on a
+#: small CI runner).
+UNGATED_KERNELS = frozenset({"sweep_trials"})
 
 
 def _best(callable_, repeats: int) -> float:
@@ -166,6 +175,38 @@ def bench_emd_round(coins: PublicCoins, n: int, repeats: int) -> tuple[float, fl
     return _best(python_path, max(2, repeats // 2)), _best(numpy_path, repeats)
 
 
+def bench_sweep_trials(n: int, repeats: int) -> tuple[float, float]:
+    """Sweep-campaign trial throughput: serial vs a 2-worker process pool.
+
+    Unlike the other kernels this row is not python-vs-numpy: the first
+    column is ``--jobs 1`` (serial, in-process) and the second a
+    ``--jobs 2`` process pool over the *same* numpy-backend trials, so
+    ``speedup`` is the pool's parallel efficiency — bounded by the host's
+    core count and dragged below 1.0 on single-core machines by worker
+    startup, which is exactly what the tracked baseline records.  The
+    serial and parallel reports are asserted byte-identical, so the perf
+    gate doubles as a determinism check.
+    """
+    sweep = SweepSpec(
+        name="bench-sweep",
+        protocol="iblt-load",
+        axes={"cells": (128, 192)},
+        base_params={"n": max(512, n // 2), "differences": 48, "q": 3},
+        trials=4,
+    )
+    serial = SweepRunner(backend="numpy", jobs=1)
+    parallel = SweepRunner(backend="numpy", jobs=2)
+
+    def serial_path():
+        return render_sweep_report(sweep, serial.run(sweep, seed=7), seed=7)
+
+    def parallel_path():
+        return render_sweep_report(sweep, parallel.run(sweep, seed=7), seed=7)
+
+    assert serial_path() == parallel_path(), "parallelism leaked into the report"
+    return _best(serial_path, max(2, repeats // 2)), _best(parallel_path, max(2, repeats // 2))
+
+
 def _iblt_inputs(n: int) -> tuple[np.ndarray, np.ndarray, int]:
     rng = np.random.default_rng(0x5EED)
     differences = max(16, int(n * DIFF_FRACTION))
@@ -222,6 +263,7 @@ def run(n: int, repeats: int, quick: bool) -> dict:
             "speedup": round(python_s / numpy_s, 2),
         }
 
+    record("sweep_trials", *bench_sweep_trials(n, repeats))
     record("pairwise_hash", *bench_pairwise_hash(coins, n, repeats))
     record("prefix_keys", *bench_prefix_keys(coins, n, repeats))
     record("emd_keys", *bench_emd_keys(coins, n, repeats))
@@ -266,8 +308,11 @@ def compare(report: dict, baseline_path: Path) -> int:
     for name, entry in baseline.get("results", {}).items():
         if name not in report["results"]:
             continue
-        floor = entry["speedup"] / REGRESSION_FACTOR
         measured = report["results"][name]["speedup"]
+        if name in UNGATED_KERNELS:
+            print(f"  {name:18s} speedup {measured:7.1f}x  (baseline {entry['speedup']:.1f}x, host-dependent: not gated)")
+            continue
+        floor = entry["speedup"] / REGRESSION_FACTOR
         status = "ok" if measured >= floor else "REGRESSION"
         print(f"  {name:18s} speedup {measured:7.1f}x  (baseline {entry['speedup']:.1f}x, floor {floor:.1f}x)  {status}")
         if measured < floor:

@@ -11,6 +11,9 @@ Commands
 ``exact``      Exact baselines: IBLT, auto-sized IBLT, char. polynomial.
 ``scenarios``  The seeded scenario matrix (every protocol family) as
                deterministic JSON — what CI's smoke job runs.
+``sweep``      A parameter-sweep campaign: many seeded trials per grid
+               point, optionally on a process pool, aggregated into a
+               ``repro.sweeps/v1`` curve report.
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
         --r1 4 --r2 512 --lowdim
     python -m repro.cli exact --method cpi --n 100 --delta 8
     python -m repro.cli scenarios --seed 7 --backend numpy --output out.json
+    python -m repro.cli sweep --campaign iblt-threshold --seed 7 --jobs 2
 """
 
 from __future__ import annotations
@@ -39,7 +43,15 @@ from .core import (
     low_dimensional_gap_protocol,
     verify_gap_guarantee,
 )
-from .experiments import ScenarioRunner, builtin_scenarios, render_report
+from .experiments import (
+    ScenarioRunner,
+    SweepRunner,
+    builtin_campaigns,
+    builtin_scenarios,
+    render_report,
+    render_sweep_report,
+)
+from .experiments.sweeps import with_trials
 from .hashing import PublicCoins
 from .iblt.backend import BACKENDS, DECODE_MODES
 from .lsh import BitSamplingMLSH, GridMLSH
@@ -199,6 +211,56 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    campaigns = builtin_campaigns()
+    if args.list:
+        for name, campaign in campaigns.items():
+            grid = " x ".join(
+                f"{axis}[{len(values)}]" for axis, values in sorted(campaign.axes.items())
+            )
+            print(f"{name:16s} {campaign.protocol:12s} {grid} x {campaign.trials} trials")
+        return 0
+    if args.campaign is None:
+        print("--campaign is required (or --list)", file=sys.stderr)
+        return 2
+    sweep = campaigns[args.campaign]
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.trials is not None:
+        if args.trials < 1:
+            print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
+            return 2
+        sweep = with_trials(sweep, args.trials)
+
+    runner = SweepRunner(
+        backend=args.backend, decode_mode=args.decode_mode, jobs=args.jobs
+    )
+    point_results = runner.run(sweep, seed=args.seed)
+    # Progress goes to stderr; stdout (or --output) carries only the
+    # canonical JSON, which never depends on --jobs.
+    for point_result in point_results:
+        rate = point_result.successes / len(point_result.results)
+        bits = [result.metrics.get("bits") for result in point_result.results]
+        mean_bits = sum(bits) / len(bits) if all(b is not None for b in bits) else None
+        label = ", ".join(f"{k}={v}" for k, v in sorted(point_result.point.items()))
+        print(
+            f"  {label:28s} success {rate:5.0%} "
+            f"({point_result.successes}/{len(point_result.results)})"
+            + (f"  mean bits {mean_bits:10.0f}" if mean_bits is not None else ""),
+            file=sys.stderr,
+        )
+    report = render_sweep_report(sweep, point_results, seed=args.seed)
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(report)
+    # Decode failures are measured outcomes here (the curves include the
+    # over-threshold regime), so completion is success.
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +316,26 @@ def build_parser() -> argparse.ArgumentParser:
     scen_parser.add_argument("--output", type=Path, default=None,
                              help="write the JSON report here instead of stdout")
     scen_parser.set_defaults(handler=_cmd_scenarios)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a parameter-sweep campaign, emit canonical JSON"
+    )
+    sweep_parser.add_argument("--campaign", choices=sorted(builtin_campaigns()),
+                              default=None, help="which built-in campaign to run")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="process-pool workers (1 = serial, in-process)")
+    sweep_parser.add_argument("--trials", type=int, default=None,
+                              help="override the campaign's trials per grid point")
+    sweep_parser.add_argument("--backend", choices=BACKENDS, default=None,
+                              help="force a backend (default: process default)")
+    sweep_parser.add_argument("--decode-mode", choices=DECODE_MODES, default=None,
+                              help="force an IBLT decode mode")
+    sweep_parser.add_argument("--list", action="store_true",
+                              help="list campaigns and exit")
+    sweep_parser.add_argument("--output", type=Path, default=None,
+                              help="write the JSON report here instead of stdout")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
 
 

@@ -34,9 +34,11 @@ from ..core import (
 )
 from ..core.multiparty import multi_party_gap, verify_multi_party_guarantee
 from ..hashing import PublicCoins
+from ..iblt import IBLT
 from ..lsh import BitSamplingMLSH
 from ..metric import GridSpace, HammingSpace, MetricSpace, emd
 from ..protocol import Channel
+from ..protocol.tables import iblt_payload
 from ..reconcile import exact_iblt_reconcile
 from ..reconcile.exact_iblt import exact_iblt_reconcile_auto
 from ..reconcile.strata import StrataEstimator, strata_payload
@@ -189,13 +191,26 @@ def _drive_emd(spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins)
         far_radius=p["far_radius"],
         rng=rng,
     )
-    protocol = EMDProtocol.for_instance(space, n=p["n"], k=p["k"])
+    # Optional prior knowledge (Corollary 3.5-style tighter bounds): d1/d2
+    # shrink the level schedule, which the emd-levels sweep campaign uses
+    # to trace communication cost against the level count.
+    protocol = EMDProtocol.for_instance(
+        space,
+        n=p["n"],
+        k=p["k"],
+        d1=p.get("d1"),
+        d2=p.get("d2"),
+        m_bound=p.get("m_bound"),
+        q=p.get("q", 3),
+        max_total_hashes=p.get("max_total_hashes"),
+    )
     result = protocol.run(workload.alice, workload.bob, coins)
     metrics = {
         "success": bool(result.success),
         "rounds": result.rounds,
         "bits": result.total_bits,
         "decoded_level": result.decoded_level,
+        "levels": protocol.parameters.levels,
         "emd_before": _round6(emd(space, workload.alice, workload.bob)),
     }
     if result.success:
@@ -309,6 +324,41 @@ def _drive_exact_auto(
     }
 
 
+def _drive_iblt_load(
+    spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
+) -> dict:
+    """Raw IBLT peeling at a controlled load (the XORSAT-core threshold).
+
+    Two tables share ``n`` keys and differ in ``2 * differences`` of them,
+    so after subtraction the peeler faces exactly ``2 * differences`` keys
+    spread over ``cells`` cells with ``q`` hashes each — the load
+    ``2 * differences / cells`` is the quantity whose decode-success
+    threshold the iblt-threshold sweep campaign traces.  Decode failure is
+    a *measured outcome* here (the curve's upper branch), not an error.
+    """
+    p = spec.params
+    n, differences, q = p["n"], p["differences"], p.get("q", 3)
+    universe = rng.choice(1 << 55, size=n + differences, replace=False).astype(np.uint64)
+    alice = universe[:n]
+    bob = np.concatenate([universe[differences:n], universe[n:]])
+    table_a = IBLT(coins, "scenario-iblt-load", cells=p["cells"], q=q, key_bits=55)
+    table_b = IBLT(coins, "scenario-iblt-load", cells=p["cells"], q=q, key_bits=55)
+    table_a.insert_batch(alice)
+    table_b.insert_batch(bob)
+    _, table_bits = iblt_payload(table_b)
+    decoded = table_b.subtract(table_a).decode()
+    true_differences = 2 * differences
+    return {
+        "success": bool(decoded.success),
+        "rounds": 1,
+        "bits": table_bits,
+        "cells": table_a.m,
+        "decoded_differences": decoded.difference_count,
+        "true_differences": true_differences,
+        "load": _round6(true_differences / table_a.m),
+    }
+
+
 def _drive_multiparty(
     spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
 ) -> dict:
@@ -356,6 +406,7 @@ DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], di
     "strata": _drive_strata,
     "exact-iblt": _drive_exact_iblt,
     "exact-auto": _drive_exact_auto,
+    "iblt-load": _drive_iblt_load,
     "multiparty": _drive_multiparty,
 }
 
@@ -422,6 +473,15 @@ def builtin_scenarios(seed: int = 0) -> list[ScenarioSpec]:
             "exact-auto",
             seed,
             {"dim": 40, "n": 80, "delta": 8},
+        ),
+        # load 40/96 ≈ 0.42, far below the q=3 peeling threshold (~0.82),
+        # so this smoke point decodes at any seed; the sweep campaign is
+        # what walks the load up through the threshold.
+        ScenarioSpec(
+            "iblt-load-peel",
+            "iblt-load",
+            seed,
+            {"n": 128, "differences": 20, "cells": 96, "q": 3},
         ),
         # dim 96: a random Hamming point sits ~dim/2 from everything, so
         # far points at r2 + 8 = 40 are easy to place; at dim 64 the

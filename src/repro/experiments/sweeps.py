@@ -1,0 +1,413 @@
+"""Parameter-sweep campaigns: seeded trial grids over the scenario harness.
+
+The scenario harness (:mod:`repro.experiments.runner`) runs each protocol
+family once at a fixed seed; the paper's claims, however, are *threshold
+and trade-off curves* — decode success against IBLT load (the XORSAT-core
+threshold), communication cost against the gap ratio ``r2/r1``, EMD cost
+against the resolution-level count.  This module sweeps a parameter grid
+with many independently seeded trials per grid point and aggregates the
+outcomes into curves.
+
+Layers
+------
+:class:`SweepSpec`
+    A campaign definition: a protocol driver, fixed base parameters, a
+    grid of swept axes, and a trial count per grid point.  Grid points
+    expand in *canonical* order (axis names sorted, values in the given
+    order) and every trial's seed derives deterministically from
+    ``(sweep seed, grid point, trial index)`` — reordering the axes of
+    the grid mapping changes nothing, and distinct points or trial
+    indices never share :class:`~repro.hashing.PublicCoins`.
+
+:class:`SweepRunner`
+    Executes the expanded trials either serially (``jobs=1``) or on a
+    ``concurrent.futures`` process pool.  Trials are embarrassingly
+    parallel and fully determined by their :class:`ScenarioSpec`, and the
+    results are re-assembled in expansion order, so a parallel run's
+    report is byte-identical to the serial run's — the invariant CI's
+    ``sweep-smoke`` job enforces.
+
+:func:`render_sweep_report`
+    Aggregates per-point success rates (Wilson intervals) and numeric
+    metrics (mean/std/min/max via :mod:`repro.analysis.stats`) into the
+    canonical ``repro.sweeps/v1`` JSON document.  Worker counts and wall
+    times never enter the document.
+
+:func:`builtin_campaigns`
+    Three paper-style curves: ``iblt-threshold``, ``gap-ratio`` and
+    ``emd-levels``, exposed as ``python -m repro.cli sweep``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..analysis.stats import success_rate, summarize
+from ..hashing import derive_seed
+from ..iblt.backend import resolve_backend, resolve_decode_mode
+from .runner import ScenarioRunner
+from .scenarios import DRIVERS, ScenarioResult, ScenarioSpec
+
+__all__ = [
+    "SweepSpec",
+    "SweepTrial",
+    "SweepPointResult",
+    "SweepRunner",
+    "builtin_campaigns",
+    "render_sweep_report",
+]
+
+SWEEP_SCHEMA = "repro.sweeps/v1"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A campaign: one protocol swept over a parameter grid.
+
+    Parameters
+    ----------
+    name:
+        Campaign name; part of every trial's seed-derivation path.
+    protocol:
+        A :data:`~repro.experiments.scenarios.DRIVERS` key.
+    axes:
+        Mapping of axis name to the sequence of values it sweeps.  The
+        cross product of all axes is the grid; axis *names* are sorted
+        before expansion so the mapping's insertion order is irrelevant
+        (to both trial order and trial seeds), while each axis's *value*
+        order is preserved.
+    base_params:
+        Parameters shared by every grid point; a grid point's axis
+        values override clashing keys.
+    trials:
+        Independently seeded runs per grid point (>= 1).
+    derive:
+        Optional hook mapping the merged ``base + point`` params to the
+        final driver params — for axes that are *ratios* or otherwise
+        feed several dependent parameters.  Seed derivation always uses
+        the raw grid point, never the derived params.
+    """
+
+    name: str
+    protocol: str
+    axes: Mapping[str, Sequence[Any]]
+    base_params: Mapping[str, Any] = field(default_factory=dict)
+    trials: int = 5
+    derive: Callable[[dict], dict] | None = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in DRIVERS:
+            raise KeyError(f"unknown protocol {self.protocol!r}")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        for axis, values in self.axes.items():
+            if not len(values):
+                raise ValueError(f"axis {axis!r} has no values")
+
+    def grid_points(self) -> list[dict]:
+        """The grid in canonical order (axis names sorted)."""
+        names = sorted(self.axes)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(self.axes[name] for name in names))
+        ]
+
+    def point_params(self, point: Mapping[str, Any]) -> dict:
+        """Final driver params for one grid point (base ∪ point, derived)."""
+        params = {**self.base_params, **point}
+        return self.derive(params) if self.derive is not None else params
+
+    def trial_seed(self, sweep_seed: int, point: Mapping[str, Any], trial: int) -> int:
+        """The trial's 64-bit seed from (sweep seed, grid point, index).
+
+        The grid point enters as its *sorted* item tuple, so two grids
+        that differ only in axis ordering derive identical seeds.
+        """
+        canonical_point = tuple(sorted(point.items()))
+        return derive_seed(sweep_seed, "sweep", self.name, canonical_point, trial)
+
+    def trial_specs(self, sweep_seed: int) -> list["SweepTrial"]:
+        """Expand every (grid point, trial index) into a runnable trial."""
+        expanded: list[SweepTrial] = []
+        for point_index, point in enumerate(self.grid_points()):
+            params = self.point_params(point)
+            label = ",".join(f"{axis}={point[axis]}" for axis in sorted(point))
+            for trial in range(self.trials):
+                expanded.append(
+                    SweepTrial(
+                        point_index=point_index,
+                        trial_index=trial,
+                        point=point,
+                        spec=ScenarioSpec(
+                            name=f"{self.name}/{label}/t{trial}",
+                            protocol=self.protocol,
+                            seed=self.trial_seed(sweep_seed, point, trial),
+                            params=params,
+                        ),
+                    )
+                )
+        return expanded
+
+
+@dataclass(frozen=True)
+class SweepTrial:
+    """One expanded trial: its grid coordinates and runnable spec."""
+
+    point_index: int
+    trial_index: int
+    point: Mapping[str, Any]
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """All of one grid point's finished trials, in trial order."""
+
+    point: Mapping[str, Any]
+    params: Mapping[str, Any]
+    results: tuple[ScenarioResult, ...]
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for result in self.results if result.success)
+
+
+def _execute_trial(task: tuple[str | None, str | None, ScenarioSpec]) -> ScenarioResult:
+    """Worker entry point: run one spec on the requested backend knobs.
+
+    Module-level (not a closure) so process-pool workers can unpickle it;
+    everything a trial does is determined by the task tuple, which is what
+    makes parallel runs bit-identical to serial ones.
+    """
+    backend, decode_mode, spec = task
+    return ScenarioRunner(backend=backend, decode_mode=decode_mode).run(spec)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork workers (cheap start, inherit sys.path); else default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class SweepRunner:
+    """Run sweep campaigns serially or on a process pool.
+
+    Parameters
+    ----------
+    backend, decode_mode:
+        Forced execution knobs, as in :class:`ScenarioRunner` (None means
+        the process-wide default; resolved per-worker, so pools behave
+        exactly like the parent process).
+    jobs:
+        Worker count.  ``jobs=1`` runs in-process with no pool at all;
+        any larger count uses a ``ProcessPoolExecutor`` whose results are
+        collected in submission order, so the rendered report is
+        byte-identical either way.
+    """
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        decode_mode: str | None = None,
+        jobs: int = 1,
+    ):
+        self.backend = None if backend is None else resolve_backend(backend)
+        self.decode_mode = (
+            None if decode_mode is None else resolve_decode_mode(decode_mode)
+        )
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, sweep: SweepSpec, seed: int = 0) -> list[SweepPointResult]:
+        """Execute every trial of ``sweep`` and group results by grid point."""
+        trials = sweep.trial_specs(seed)
+        tasks = [(self.backend, self.decode_mode, trial.spec) for trial in trials]
+        if self.jobs == 1:
+            results = [_execute_trial(task) for task in tasks]
+        else:
+            workers = min(self.jobs, len(tasks)) or 1
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                # map() yields in submission order regardless of which
+                # worker finishes first — completion order never leaks
+                # into the report.
+                results = list(pool.map(_execute_trial, tasks, chunksize=1))
+
+        points = sweep.grid_points()
+        grouped: list[list[ScenarioResult]] = [[] for _ in points]
+        for trial, result in zip(trials, results):
+            grouped[trial.point_index].append(result)
+        return [
+            SweepPointResult(
+                point=point,
+                params=sweep.point_params(point),
+                results=tuple(group),
+            )
+            for point, group in zip(points, grouped)
+        ]
+
+
+def _round6(value: float) -> float:
+    return round(float(value), 6)
+
+
+def _aggregate_metrics(results: Sequence[ScenarioResult]) -> dict:
+    """Mean/std/min/max for every numeric metric shared by all trials."""
+    shared = set(results[0].metrics)
+    for result in results[1:]:
+        shared &= set(result.metrics)
+    aggregated = {}
+    for key in sorted(shared):
+        values = [result.metrics[key] for result in results]
+        if not all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in values
+        ):
+            continue
+        summary = summarize(values)
+        aggregated[key] = {
+            "mean": _round6(summary.mean),
+            "std": _round6(summary.std),
+            "min": _round6(summary.minimum),
+            "max": _round6(summary.maximum),
+        }
+    return aggregated
+
+
+def render_sweep_report(
+    sweep: SweepSpec,
+    point_results: Sequence[SweepPointResult],
+    seed: int,
+) -> str:
+    """The canonical ``repro.sweeps/v1`` JSON document (ends with a newline).
+
+    Byte-deterministic for a fixed campaign/seed/backend/decode-mode:
+    keys sorted, points in canonical grid order, floats rounded, and
+    nothing execution-dependent (worker count, timings) included.
+    """
+    all_results = [result for point in point_results for result in point.results]
+    points = []
+    for point_result in point_results:
+        outcomes = [result.success for result in point_result.results]
+        rate, (low, high) = success_rate(outcomes)
+        points.append(
+            {
+                "point": dict(point_result.point),
+                "params": dict(point_result.params),
+                "trials": len(outcomes),
+                "successes": point_result.successes,
+                "success_rate": _round6(rate),
+                "success_ci": [_round6(low), _round6(high)],
+                "metrics": _aggregate_metrics(point_result.results),
+            }
+        )
+    document = {
+        "schema": SWEEP_SCHEMA,
+        "campaign": sweep.name,
+        "protocol": sweep.protocol,
+        "seed": seed,
+        "trials_per_point": sweep.trials,
+        "axes": {axis: list(values) for axis, values in sorted(sweep.axes.items())},
+        "base_params": dict(sweep.base_params),
+        "backends": sorted({result.backend for result in all_results}),
+        "decode_modes": sorted({result.decode_mode for result in all_results}),
+        "point_count": len(points),
+        "points": points,
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def with_trials(sweep: SweepSpec, trials: int) -> SweepSpec:
+    """A copy of ``sweep`` with its per-point trial count replaced."""
+    return dataclasses.replace(sweep, trials=trials)
+
+
+# -- built-in campaigns -----------------------------------------------------
+
+
+def _derive_gap_ratio(params: dict) -> dict:
+    """Turn the swept ``ratio`` axis into the dependent gap parameters.
+
+    ``r2 = r1 * ratio`` and the planted far points sit safely beyond
+    ``r2`` so the workload stays valid across the whole axis.
+    """
+    params = dict(params)
+    ratio = params.pop("ratio")
+    params["r2"] = params["r1"] * ratio
+    params["far_radius"] = params["r2"] * 1.25
+    return params
+
+
+def builtin_campaigns() -> dict[str, SweepSpec]:
+    """The paper-style curves ``python -m repro.cli sweep`` ships with.
+
+    ``iblt-threshold``
+        Decode success against IBLT load (2·differences/cells) for two
+        branching factors ``q`` — the XORSAT-core peeling threshold
+        (~0.82 of cells at q=3, ~0.77 at q=4).
+    ``gap-ratio``
+        Communication cost of the Gap Guarantee protocol against the
+        distance ratio ``r2/r1`` (smaller gaps need more LSH rounds).
+    ``emd-levels``
+        Algorithm 1's cost against its resolution-level count, driven by
+        tightening the prior distance bound ``D2`` (t = ceil(log2 D2)+1
+        levels at D1 = 1).
+    """
+    campaigns = [
+        SweepSpec(
+            name="iblt-threshold",
+            protocol="iblt-load",
+            axes={
+                # Loads 2·32/cells from ~0.53 up through ~0.89: both well
+                # below and above the peeling thresholds.
+                "cells": (72, 84, 96, 120),
+                "q": (3, 4),
+            },
+            base_params={"n": 256, "differences": 32},
+            trials=8,
+        ),
+        SweepSpec(
+            name="gap-ratio",
+            protocol="gap",
+            # dim 96: far points at r2·1.25 = 40 (the ratio-16 end) stay
+            # placeable — a random Hamming point sits ~dim/2 from
+            # everything, so dim 64 starves the far-point sampler there.
+            axes={"ratio": (4, 8, 12, 16)},
+            base_params={
+                "dim": 96,
+                "n": 16,
+                "k": 1,
+                "r1": 2.0,
+                "close_radius": 2.0,
+            },
+            trials=3,
+            derive=_derive_gap_ratio,
+        ),
+        SweepSpec(
+            name="emd-levels",
+            protocol="emd",
+            axes={"d2": (8, 16, 32, 64, 128)},
+            base_params={
+                "space": "hamming",
+                "dim": 48,
+                "n": 16,
+                "k": 1,
+                "d1": 1,
+                "close_radius": 1.0,
+                "far_radius": 16.0,
+            },
+            trials=3,
+        ),
+    ]
+    return {campaign.name: campaign for campaign in campaigns}

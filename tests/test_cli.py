@@ -122,3 +122,45 @@ class TestScenariosCommand:
         code = main(["scenarios", "--only", "nope"])
         assert code == 2
         assert "unknown scenarios" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_list_campaigns(self, capsys):
+        code = main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "iblt-threshold" in out
+        assert "gap-ratio" in out
+        assert "emd-levels" in out
+
+    def test_campaign_required(self, capsys):
+        code = main(["sweep"])
+        assert code == 2
+        assert "--campaign" in capsys.readouterr().err
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--campaign", "bogus"])
+
+    def test_run_emits_canonical_json(self, capsys):
+        code = main([
+            "sweep", "--campaign", "iblt-threshold", "--seed", "7", "--trials", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["schema"] == "repro.sweeps/v1"
+        assert document["campaign"] == "iblt-threshold"
+        assert document["trials_per_point"] == 1
+        assert document["point_count"] == 8
+        # Execution knobs must never leak into the canonical report.
+        assert "jobs" not in document
+        assert "success" in captured.err
+
+    def test_jobs_do_not_change_report_bytes(self, tmp_path):
+        serial, parallel = tmp_path / "j1.json", tmp_path / "j2.json"
+        args = ["sweep", "--campaign", "iblt-threshold", "--seed", "7",
+                "--trials", "1"]
+        assert main(args + ["--jobs", "1", "--output", str(serial)]) == 0
+        assert main(args + ["--jobs", "2", "--output", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()

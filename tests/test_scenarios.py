@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -17,8 +18,15 @@ from repro.experiments import (
 SEED = 7
 
 #: A cheap cross-backend subset (the python backend is ~10x slower on the
-#: sketch-heavy scenarios; three cover multiset, strata and XOR tables).
-CROSS_BACKEND = ("setsofsets-patch", "strata-estimate", "exact-iblt-hamming")
+#: sketch-heavy scenarios; these cover multiset, strata and XOR tables).
+CROSS_BACKEND = (
+    "setsofsets-patch",
+    "strata-estimate",
+    "exact-iblt-hamming",
+    "iblt-load-peel",
+)
+
+GOLDENS = Path(__file__).parent / "goldens"
 
 
 @pytest.fixture(scope="module")
@@ -124,6 +132,25 @@ class TestReport:
             }
             assert entry["decode_mode"] in ("frontier", "rescan")
             assert "wall_time_s" not in entry
+
+    def test_matches_committed_golden(self, numpy_results):
+        """The in-repo golden pins the full report byte-for-byte.
+
+        CI's goldens-drift job enforces the same invariant through the
+        CLI; this test catches drift at ``pytest`` time.  The fixture
+        leaves the decode mode at the process default, so compare against
+        the matching golden.
+        """
+        from repro.iblt.backend import default_decode_mode
+
+        golden = GOLDENS / f"scenarios-numpy-{default_decode_mode()}.json"
+        report = render_report(numpy_results, seed=SEED)
+        assert report == golden.read_text(), (
+            "scenario report drifted from the golden; if the change is "
+            "intentional, re-baseline with: PYTHONPATH=src python -m repro.cli "
+            f"scenarios --seed {SEED} --backend numpy --decode-mode "
+            f"{default_decode_mode()} --output {golden}"
+        )
 
     def test_timings_are_opt_in(self, numpy_results):
         document = json.loads(
