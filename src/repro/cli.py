@@ -218,44 +218,72 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             grid = " x ".join(
                 f"{axis}[{len(values)}]" for axis, values in sorted(campaign.axes.items())
             )
-            print(f"{name:16s} {campaign.protocol:12s} {grid} x {campaign.trials} trials")
+            print(f"{name:20s} {campaign.protocol:12s} {grid} x {campaign.trials} trials")
         return 0
-    if args.campaign is None:
+    if not args.campaign:
         print("--campaign is required (or --list)", file=sys.stderr)
         return 2
-    sweep = campaigns[args.campaign]
+    selected = list(dict.fromkeys(args.campaign))  # preserve order, dedupe
+    if args.output is not None and args.output_dir is not None:
+        print("--output and --output-dir are mutually exclusive", file=sys.stderr)
+        return 2
+    if len(selected) > 1 and args.output_dir is None:
+        # Concatenated JSON documents on stdout (or in one --output file)
+        # would be unparseable as canonical output.
+        print(
+            "multiple campaigns need --output-dir (one report file per "
+            "campaign); --output and stdout hold a single report",
+            file=sys.stderr,
+        )
+        return 2
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    if args.trials is not None:
-        if args.trials < 1:
-            print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
-            return 2
-        sweep = with_trials(sweep, args.trials)
+    if args.trials is not None and args.trials < 1:
+        print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
+        return 2
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
 
-    runner = SweepRunner(
+    # One runner for every requested campaign: with --jobs > 1 the
+    # persistent process pool spins up once and every campaign reuses
+    # the warm workers.
+    with SweepRunner(
         backend=args.backend, decode_mode=args.decode_mode, jobs=args.jobs
-    )
-    point_results = runner.run(sweep, seed=args.seed)
-    # Progress goes to stderr; stdout (or --output) carries only the
-    # canonical JSON, which never depends on --jobs.
-    for point_result in point_results:
-        rate = point_result.successes / len(point_result.results)
-        bits = [result.metrics.get("bits") for result in point_result.results]
-        mean_bits = sum(bits) / len(bits) if all(b is not None for b in bits) else None
-        label = ", ".join(f"{k}={v}" for k, v in sorted(point_result.point.items()))
-        print(
-            f"  {label:28s} success {rate:5.0%} "
-            f"({point_result.successes}/{len(point_result.results)})"
-            + (f"  mean bits {mean_bits:10.0f}" if mean_bits is not None else ""),
-            file=sys.stderr,
-        )
-    report = render_sweep_report(sweep, point_results, seed=args.seed)
-    if args.output is not None:
-        args.output.write_text(report)
-        print(f"wrote {args.output}", file=sys.stderr)
-    else:
-        sys.stdout.write(report)
+    ) as runner:
+        for name in selected:
+            sweep = campaigns[name]
+            if args.trials is not None:
+                sweep = with_trials(sweep, args.trials)
+            point_results = runner.run(sweep, seed=args.seed)
+            # Progress goes to stderr; stdout (or --output) carries only
+            # the canonical JSON, which never depends on --jobs.
+            print(f"campaign {name}:", file=sys.stderr)
+            for point_result in point_results:
+                rate = point_result.successes / len(point_result.results)
+                bits = [result.metrics.get("bits") for result in point_result.results]
+                mean_bits = (
+                    sum(bits) / len(bits) if all(b is not None for b in bits) else None
+                )
+                label = ", ".join(
+                    f"{k}={v}" for k, v in sorted(point_result.point.items())
+                )
+                print(
+                    f"  {label:28s} success {rate:5.0%} "
+                    f"({point_result.successes}/{len(point_result.results)})"
+                    + (f"  mean bits {mean_bits:10.0f}" if mean_bits is not None else ""),
+                    file=sys.stderr,
+                )
+            report = render_sweep_report(sweep, point_results, seed=args.seed)
+            if args.output is not None:
+                args.output.write_text(report)
+                print(f"wrote {args.output}", file=sys.stderr)
+            elif args.output_dir is not None:
+                path = args.output_dir / f"sweep-{name}.json"
+                path.write_text(report)
+                print(f"wrote {path}", file=sys.stderr)
+            else:
+                sys.stdout.write(report)
     # Decode failures are measured outcomes here (the curves include the
     # over-threshold regime), so completion is success.
     return 0
@@ -318,15 +346,17 @@ def build_parser() -> argparse.ArgumentParser:
     scen_parser.set_defaults(handler=_cmd_scenarios)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="run a parameter-sweep campaign, emit canonical JSON"
+        "sweep", help="run parameter-sweep campaigns, emit canonical JSON"
     )
-    sweep_parser.add_argument("--campaign", choices=sorted(builtin_campaigns()),
-                              default=None, help="which built-in campaign to run")
+    sweep_parser.add_argument("--campaign", action="append",
+                              choices=sorted(builtin_campaigns()), default=None,
+                              help="built-in campaign to run (repeatable; one "
+                                   "persistent worker pool serves all of them)")
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--jobs", type=int, default=1,
                               help="process-pool workers (1 = serial, in-process)")
     sweep_parser.add_argument("--trials", type=int, default=None,
-                              help="override the campaign's trials per grid point")
+                              help="override the campaigns' trials per grid point")
     sweep_parser.add_argument("--backend", choices=BACKENDS, default=None,
                               help="force a backend (default: process default)")
     sweep_parser.add_argument("--decode-mode", choices=DECODE_MODES, default=None,
@@ -334,7 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--list", action="store_true",
                               help="list campaigns and exit")
     sweep_parser.add_argument("--output", type=Path, default=None,
-                              help="write the JSON report here instead of stdout")
+                              help="write the JSON report here instead of stdout "
+                                   "(single campaign only)")
+    sweep_parser.add_argument("--output-dir", type=Path, default=None,
+                              help="write one sweep-<campaign>.json per campaign "
+                                   "into this directory")
     sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
 

@@ -29,6 +29,7 @@ import numpy as np
 from ..core import (
     EMDProtocol,
     GapProtocol,
+    ScaledEMDProtocol,
     low_dimensional_gap_protocol,
     verify_gap_guarantee,
 )
@@ -180,7 +181,15 @@ def _drive_gap_lowdim(
 
 
 def _drive_emd(spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins) -> dict:
-    """Algorithm 1: reconciliation under an earth-mover's-distance bound."""
+    """Algorithm 1: reconciliation under an earth-mover's-distance bound.
+
+    With ``scaled: true`` the run goes through the interval-scaled
+    wrapper (Corollaries 3.5/3.6) instead: ``[D1, D2]`` is split into
+    geometric intervals of ratio ``ratio`` (the scaled protocol's
+    branching factor) and Algorithm 1 runs once per interval in a single
+    round — the knob the ``emd-branching`` sweep campaign traces
+    communication cost against.
+    """
     p = spec.params
     space = _space(p)
     workload = noisy_replica_pair(
@@ -191,6 +200,32 @@ def _drive_emd(spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins)
         far_radius=p["far_radius"],
         rng=rng,
     )
+    if p.get("scaled", False):
+        scaled = ScaledEMDProtocol(
+            space,
+            n=p["n"],
+            k=p["k"],
+            d1=p.get("d1"),
+            d2=p.get("d2"),
+            m_bound=p.get("m_bound"),
+            ratio=p.get("ratio", 8.0),
+            q=p.get("q", 3),
+            max_total_hashes=p.get("max_total_hashes"),
+        )
+        scaled_result = scaled.run(workload.alice, workload.bob, coins)
+        metrics = {
+            "success": bool(scaled_result.success),
+            "rounds": scaled_result.rounds,
+            "bits": scaled_result.total_bits,
+            "decoded_level": scaled_result.decoded_level,
+            "intervals": scaled.intervals,
+            "emd_before": _round6(emd(space, workload.alice, workload.bob)),
+        }
+        if scaled_result.chosen_interval is not None:
+            metrics["chosen_interval"] = scaled_result.chosen_interval
+        if scaled_result.success:
+            metrics["emd_after"] = _round6(emd(space, workload.alice, scaled_result.bob_final))
+        return metrics
     # Optional prior knowledge (Corollary 3.5-style tighter bounds): d1/d2
     # shrink the level schedule, which the emd-levels sweep campaign uses
     # to trace communication cost against the level count.

@@ -21,11 +21,17 @@ Layers
 
 :class:`SweepRunner`
     Executes the expanded trials either serially (``jobs=1``) or on a
-    ``concurrent.futures`` process pool.  Trials are embarrassingly
-    parallel and fully determined by their :class:`ScenarioSpec`, and the
-    results are re-assembled in expansion order, so a parallel run's
-    report is byte-identical to the serial run's — the invariant CI's
-    ``sweep-smoke`` job enforces.
+    *persistent* ``concurrent.futures`` process pool: the pool is
+    created on first use and reused across every campaign the runner
+    executes, so worker startup (fork + import) is paid once per runner
+    instead of once per campaign.  Trials are dispatched in contiguous
+    *chunks* — one pickle round-trip per chunk instead of one per trial
+    — and are embarrassingly parallel and fully determined by their
+    :class:`ScenarioSpec`; results are re-assembled in expansion order,
+    so a parallel run's report is byte-identical to the serial run's —
+    the invariant CI's ``sweep-smoke`` job enforces.  Close the pool
+    with :meth:`SweepRunner.close` or use the runner as a context
+    manager.
 
 :func:`render_sweep_report`
     Aggregates per-point success rates (Wilson intervals) and numeric
@@ -34,8 +40,9 @@ Layers
     times never enter the document.
 
 :func:`builtin_campaigns`
-    Three paper-style curves: ``iblt-threshold``, ``gap-ratio`` and
-    ``emd-levels``, exposed as ``python -m repro.cli sweep``.
+    Five paper-style curves: ``iblt-threshold``, ``gap-ratio``,
+    ``emd-levels``, ``emd-branching`` and ``multiparty-parties``,
+    exposed as ``python -m repro.cli sweep``.
 """
 
 from __future__ import annotations
@@ -191,6 +198,20 @@ def _execute_trial(task: tuple[str | None, str | None, ScenarioSpec]) -> Scenari
     return ScenarioRunner(backend=backend, decode_mode=decode_mode).run(spec)
 
 
+def _execute_trial_chunk(
+    tasks: "list[tuple[str | None, str | None, ScenarioSpec]]",
+) -> "list[ScenarioResult]":
+    """Worker entry point for a contiguous chunk of trials.
+
+    One submission carries a whole chunk, so the pickle/IPC round-trip —
+    which dominated small campaigns when every trial travelled alone —
+    is paid once per chunk.  Trials run in list order and results come
+    back in the same order, preserving the expansion-order reassembly
+    the byte-identical-reports guarantee rests on.
+    """
+    return [_execute_trial(task) for task in tasks]
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork workers (cheap start, inherit sys.path); else default."""
     if "fork" in multiprocessing.get_all_start_methods():
@@ -199,7 +220,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 class SweepRunner:
-    """Run sweep campaigns serially or on a process pool.
+    """Run sweep campaigns serially or on a persistent process pool.
 
     Parameters
     ----------
@@ -209,9 +230,16 @@ class SweepRunner:
         exactly like the parent process).
     jobs:
         Worker count.  ``jobs=1`` runs in-process with no pool at all;
-        any larger count uses a ``ProcessPoolExecutor`` whose results are
-        collected in submission order, so the rendered report is
-        byte-identical either way.
+        any larger count lazily creates one ``ProcessPoolExecutor`` that
+        is *kept alive across campaigns* (worker startup was the
+        dominant cost of small sweeps) until :meth:`close`.  Chunked
+        futures are collected in submission order, so the rendered
+        report is byte-identical either way.
+    chunk_trials:
+        Trials per worker submission.  The default splits every campaign
+        into ``4 × jobs`` chunks (balance between pickle round-trips and
+        work stealing); pass an explicit count to override.  Chunking is
+        pure transport — it cannot affect report bytes.
     """
 
     def __init__(
@@ -219,6 +247,7 @@ class SweepRunner:
         backend: str | None = None,
         decode_mode: str | None = None,
         jobs: int = 1,
+        chunk_trials: int | None = None,
     ):
         self.backend = None if backend is None else resolve_backend(backend)
         self.decode_mode = (
@@ -226,7 +255,41 @@ class SweepRunner:
         )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_trials is not None and chunk_trials < 1:
+            raise ValueError(f"chunk_trials must be >= 1, got {chunk_trials}")
         self.jobs = jobs
+        self.chunk_trials = chunk_trials
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, created on first parallel run."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=_pool_context())
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent).
+
+        Runners used as context managers close on exit; otherwise the
+        pool lives until closed or the interpreter exits.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _chunk_size(self, task_count: int) -> int:
+        if self.chunk_trials is not None:
+            return self.chunk_trials
+        # 4 chunks per worker: few enough that pickling stays amortised,
+        # enough that an unlucky slow chunk does not idle the pool.
+        return max(1, -(-task_count // (self.jobs * 4)))
 
     def run(self, sweep: SweepSpec, seed: int = 0) -> list[SweepPointResult]:
         """Execute every trial of ``sweep`` and group results by grid point."""
@@ -235,14 +298,14 @@ class SweepRunner:
         if self.jobs == 1:
             results = [_execute_trial(task) for task in tasks]
         else:
-            workers = min(self.jobs, len(tasks)) or 1
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                # map() yields in submission order regardless of which
-                # worker finishes first — completion order never leaks
-                # into the report.
-                results = list(pool.map(_execute_trial, tasks, chunksize=1))
+            chunk = self._chunk_size(len(tasks))
+            chunks = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
+            pool = self._ensure_pool()
+            futures = [pool.submit(_execute_trial_chunk, c) for c in chunks]
+            # Futures are drained in submission order regardless of which
+            # worker finishes first — completion order never leaks into
+            # the report.
+            results = [result for future in futures for result in future.result()]
 
         points = sweep.grid_points()
         grouped: list[list[ScenarioResult]] = [[] for _ in points]
@@ -363,6 +426,15 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
         Algorithm 1's cost against its resolution-level count, driven by
         tightening the prior distance bound ``D2`` (t = ceil(log2 D2)+1
         levels at D1 = 1).
+    ``emd-branching``
+        The interval-scaled protocol's cost against its branching factor
+        ``b`` (Corollary 3.5's geometric interval ratio): smaller ``b``
+        means more parallel Algorithm 1 instances, each cheaper —
+        ``[D1, D2]`` splits into ``ceil(log_b(D2/D1))`` intervals.
+    ``multiparty-parties``
+        Total star-topology cost against the party count: the
+        multi-party lift runs one two-party Gap reconciliation per
+        non-centre party, so cost should scale near-linearly.
     """
     campaigns = [
         SweepSpec(
@@ -407,6 +479,35 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
                 "close_radius": 1.0,
                 "far_radius": 16.0,
             },
+            trials=3,
+        ),
+        SweepSpec(
+            name="emd-branching",
+            protocol="emd",
+            # b from 2 to 8 over [1, 64]: 6 intervals down to 2, so the
+            # curve spans the many-cheap-instances and few-wide-instances
+            # regimes of Corollary 3.5.
+            axes={"ratio": (2, 3, 4, 8)},
+            base_params={
+                "scaled": True,
+                "space": "hamming",
+                "dim": 48,
+                "n": 16,
+                "k": 1,
+                "d1": 1,
+                "d2": 64,
+                "close_radius": 1.0,
+                "far_radius": 16.0,
+            },
+            trials=3,
+        ),
+        SweepSpec(
+            name="multiparty-parties",
+            protocol="multiparty",
+            axes={"parties": (2, 3, 4, 5)},
+            # dim 96 keeps far points at r2 + 8 placeable for every party
+            # count (see the multiparty-star builtin scenario note).
+            base_params={"dim": 96, "n": 12, "r1": 2.0, "r2": 32.0},
             trials=3,
         ),
     ]

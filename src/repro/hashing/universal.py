@@ -25,7 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .mersenne import MERSENNE_P, affine_mod_p, fold_bits, to_field
+from .mersenne import MERSENNE_P, affine_mod_p, fold_bits, quadratic_mod_p, to_field
 from .random_source import PublicCoins
 
 __all__ = [
@@ -257,11 +257,10 @@ class Checksum:
     def hash_array(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised checksums, exact in ``uint64``; matches :meth:`__call__`.
 
-        Horner form ``((a2·x + a1)·x + b) mod P`` — two exact field
-        multiplications per element instead of three (see
-        :mod:`repro.hashing.mersenne`).  Returns a ``uint64`` array.
+        Horner form ``((a2·x + a1)·x + b) mod P`` through the fused
+        :func:`~repro.hashing.mersenne.quadratic_mod_p` — two exact
+        field multiplications per element with the input limbs split
+        once (this is the purity test the decode loop lives in).
+        Returns a ``uint64`` array.
         """
-        x = to_field(keys)
-        out = affine_mod_p(np.uint64(self.a2), np.uint64(self.a1), x)
-        out = affine_mod_p(out, np.uint64(self.b), x)
-        return fold_bits(out, self.bits)
+        return fold_bits(quadratic_mod_p(self.a2, self.a1, self.b, keys), self.bits)

@@ -18,7 +18,10 @@ accumulates ``Θ(n·q/m)`` 61-bit items), so unlike the XOR-based
 arrays without overflow.  The ``"numpy"`` backend therefore keeps exact
 Python-int cells but batch-computes the expensive part — cell indices and
 checksums — with the vectorised Mersenne hashes, which is where nearly
-all of the insert cost goes.  Both backends are bit-identical.
+all of the insert cost goes; decode likewise batch-primes a shared
+:class:`~repro.iblt.frontier.KeyHashCache` over the seeding scan while
+preserving the exact FIFO peel sequence.  Both backends are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import numpy as np
 
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from .backend import resolve_backend
-from .frontier import PeelQueue
+from .frontier import KeyHashCache, PeelQueue, divisible_key, seed_sum_cell_queue
 from .iblt import coerce_key_array, partitioned_cell_indices
 
 __all__ = ["MultisetIBLT", "MultisetDecodeResult"]
@@ -91,6 +94,8 @@ class MultisetIBLT:
             PairwiseHash(coins, ("mset-cell", label, j), bits=61) for j in range(q)
         ]
         self.checksum = Checksum(coins, ("mset-checksum", label), bits=61)
+        # Decode hash cache, shared with clones (see repro.iblt.frontier).
+        self._hash_cache = KeyHashCache(self.checksum, self._cell_hashes, self.block_size)
         self.counts = [0] * self.m
         self.key_sum = [0] * self.m
         self.check_sum = [0] * self.m
@@ -222,6 +227,7 @@ class MultisetIBLT:
         clone.backend = self.backend
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
+        clone._hash_cache = self._hash_cache
         clone.counts = [0] * self.m
         clone.key_sum = [0] * self.m
         clone.check_sum = [0] * self.m
@@ -240,44 +246,66 @@ class MultisetIBLT:
                 return False
         return True
 
-    def _pure_key(self, index: int) -> int | None:
-        count = self.counts[index]
-        if count == 0:
+    def _pure_key(self, index: int, cache: KeyHashCache | None = None) -> int | None:
+        key = divisible_key(self.counts[index], self.key_sum[index], 1 << self.key_bits)
+        if key is None:
             return None
-        key_total = self.key_sum[index]
-        if key_total % count != 0:
-            return None
-        key = key_total // count
-        if not 0 <= key < (1 << self.key_bits):
-            return None
-        if self.checksum(key) * count != self.check_sum[index]:
+        check = self.checksum(key) if cache is None else cache.check(key)
+        if check * self.counts[index] != self.check_sum[index]:
             return None
         return key
 
-    def decode(self) -> MultisetDecodeResult:
+    def decode(self, engine: str | None = None) -> MultisetDecodeResult:
         """Breadth-first peel; destructive.
 
         The candidate frontier is seeded with one pure scan; afterwards
         only the cells a peel touches can change purity, so only those
-        are pushed (see :mod:`repro.iblt.frontier`).
+        are pushed (see :mod:`repro.iblt.frontier`).  ``engine`` is
+        ``"cached"`` (default: batch-primed hash cache on the numpy
+        backend — the python backend always runs the scalar reference)
+        or ``"scalar"`` (the pre-engine scalar-per-step reference); both
+        produce bit-identical results.
         """
+        if engine not in (None, "cached", "scalar"):
+            raise ValueError(f"engine must be 'cached' or 'scalar', got {engine!r}")
         result = MultisetDecodeResult(success=False)
+        cache = (
+            self._hash_cache
+            if engine != "scalar" and self.backend == "numpy"
+            else None
+        )
         queue = PeelQueue(self.m, fifo=True)
-        for index in range(self.m):
-            if self._pure_key(index) is not None:
-                queue.push(index)
+        seed_sum_cell_queue(
+            self.counts, self.key_sum, self.check_sum, self.key_bits,
+            queue, cache, self.checksum,
+        )
         while queue:
             index = queue.pop()
-            key = self._pure_key(index)
+            key = self._pure_key(index, cache)
             if key is None:
                 continue
             count = self.counts[index]
             result.multiplicities[key] = result.multiplicities.get(key, 0) + count
             if result.multiplicities[key] == 0:
                 del result.multiplicities[key]
-            self._update(key, -count)
-            for neighbor in self.cell_indices(key):
-                if not queue.pending(neighbor) and self._pure_key(neighbor) is not None:
+            # Remove all `count` copies and test each neighbour in one
+            # pass (each of the q partitioned cells is distinct, so a
+            # neighbour's purity only depends on its own, already
+            # subtracted, state — identical to updating all cells first).
+            check = self.checksum(key) if cache is None else cache.check(key)
+            neighbors = (
+                self.cell_indices(key) if cache is None else cache.indices(key)
+            )
+            key_delta = count * key
+            check_delta = count * check
+            for neighbor in neighbors:
+                self.counts[neighbor] -= count
+                self.key_sum[neighbor] -= key_delta
+                self.check_sum[neighbor] -= check_delta
+                if (
+                    not queue.pending(neighbor)
+                    and self._pure_key(neighbor, cache) is not None
+                ):
                     queue.push(neighbor)
         result.success = self.is_empty() and all(
             check == 0 for check in self.check_sum

@@ -6,29 +6,151 @@ threshold analyses: decode succeeds by repeatedly stripping degree-1
 to.  The process is therefore inherently *incremental* — after the
 initial pure scan, the only cells whose purity can have changed are the
 ones actually touched by a peel.  Every decoder in this package tracks
-that frontier instead of rescanning the table:
+that frontier instead of rescanning the table, and they all share the
+engine pieces defined here:
 
-* the scalar decoders (:class:`~repro.iblt.iblt.IBLT` on the python
-  backend, :class:`~repro.iblt.counting.MultisetIBLT`,
-  :class:`~repro.iblt.riblt.RIBLT`) drive a :class:`PeelQueue` of
-  candidate cell indices, seeded once and fed by the neighbours of each
-  peeled key;
-* the vectorised numpy decoder (``IBLT._decode_numpy_frontier``)
-  maintains the same frontier as an index *array*, re-testing purity
-  only on the cells touched by the previous batch peel.
+* :class:`PeelQueue` — the deduplicated candidate queue the scalar
+  decoders drive (FIFO for the breadth-first sum-cell decoders whose
+  error-propagation analysis depends on peel order, RIBLT Lemma 3.10;
+  LIFO for the classic IBLT's stack-based python reference).
+* :class:`PeelScratch` — preallocated round work buffers for the
+  vectorised numpy decoder (``IBLT._decode_numpy_frontier``): a flag
+  array that dedupes the touched-cell stream in ``O(m + touched)``
+  without any sort, plus reusable purity-scan scratch.  One scratch is
+  shared by a table and every clone ``subtract``/``copy`` derive from
+  it, so repeated ``decode()`` calls never reallocate.
+* :class:`KeyHashCache` — memoised ``key -> (checksum, cell indices)``
+  evaluations, batch-filled with the vectorised Mersenne hashes and
+  consulted by the sum-cell decoders (:class:`~repro.iblt.riblt.RIBLT`,
+  :class:`~repro.iblt.counting.MultisetIBLT`) *inside* their exact
+  sequential FIFO loops.  The cached values are pure functions of the
+  key, so the peel sequence — hence the decode output, including the
+  value-error propagation the RIBLT analysis charges — is bit-identical
+  to uncached scalar evaluation.
 
-The queue preserves each decoder's historical peel discipline exactly —
-FIFO for the breadth-first decoders whose error-propagation analysis
-depends on peel order (RIBLT Lemma 3.10), LIFO for the classic IBLT's
-stack-based reference decoder — so decode output stays bit-identical to
-the pre-frontier implementations.
+The peel frontier shrinks geometrically (the supercritical branching
+process dies out), so a fixed-cost vectorised round is exactly wrong at
+the tail: the numpy decoder *adapts*, processing any round whose
+candidate set is at most :data:`PEEL_TAIL_THRESHOLD` cells with plain
+scalar arithmetic (cached hashes, no array round-trips), and the cache
+only batch-primes when at least :data:`CACHE_PRIME_THRESHOLD` keys are
+missing.  Both thresholds are behaviour-preserving knobs: any value
+produces bit-identical output, only the crossover cost changes.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
-__all__ = ["PeelQueue"]
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..hashing import Checksum, PairwiseHash
+
+__all__ = [
+    "CACHE_PRIME_THRESHOLD",
+    "PEEL_TAIL_THRESHOLD",
+    "KeyHashCache",
+    "PeelQueue",
+    "PeelScratch",
+    "divisible_key",
+    "seed_sum_cell_queue",
+]
+
+#: Candidate-set size at or below which the adaptive numpy decoder runs a
+#: round with scalar arithmetic instead of vectorised array passes.  At
+#: tail sizes the fixed per-call overhead of each numpy operation (~µs)
+#: exceeds the whole round's useful work; measured on CPython 3.11 the
+#: crossover sits near ~200 candidate cells, so 128 keeps every bulk
+#: round vectorised while the geometric tail runs scalar.
+PEEL_TAIL_THRESHOLD = 128
+
+#: Minimum number of *missing* keys for which :meth:`KeyHashCache.prime`
+#: uses the vectorised batch hashes; smaller batches fall through to the
+#: memoised scalar fill where the fixed array-call overhead (key-array
+#: construction, two Mersenne passes, the index matrix transpose) would
+#: cost more than it saves.  Measured crossover on CPython 3.11 is
+#: ~50-100 missing keys.
+CACHE_PRIME_THRESHOLD = 64
+
+#: Entry cap for :class:`KeyHashCache`; reaching it clears the cache (the
+#: memoised values are recomputable, so wholesale eviction is always
+#: safe — simpler than LRU bookkeeping on the hot path).  Caches live as
+#: long as their table (clones share them), so the cap also bounds
+#: resident memory: 2^17 entries is ~10 MB across both stores, far above
+#: any single decode's working set.
+_CACHE_MAX_ENTRIES = 1 << 17
+
+
+def divisible_key(count: int, key_total: int, key_limit: int) -> int | None:
+    """The candidate key of a sum cell, before its checksum test.
+
+    Section 2.2 item 5: a cell holding ``C`` copies of one key has a key
+    sum divisible by its count with an in-range quotient.  This is the
+    cheap integer half of the sum-cell purity test shared by
+    :class:`~repro.iblt.riblt.RIBLT` and
+    :class:`~repro.iblt.counting.MultisetIBLT`; the caller still owns
+    the checksum half (``checksum(key) * count == check_sum``).
+    """
+    if count == 0:
+        return None
+    if key_total % count != 0:
+        return None
+    key = key_total // count
+    if not 0 <= key < key_limit:
+        return None
+    return key
+
+
+def seed_sum_cell_queue(
+    counts: "list[int]",
+    key_sum: "list[int]",
+    check_sum: "list[int]",
+    key_bits: int,
+    queue: "PeelQueue",
+    cache: "KeyHashCache | None",
+    checksum: "Checksum",
+) -> None:
+    """Seed a sum-cell decoder's candidate queue in one scan.
+
+    Shared by :class:`~repro.iblt.riblt.RIBLT` and
+    :class:`~repro.iblt.counting.MultisetIBLT`: every cell passing the
+    integer half of the purity test (:func:`divisible_key`) is a
+    candidate; with a cache the candidates' checksums are batch-primed
+    with one vectorised pass *before* the checksum half runs, so the
+    seeding scan performs zero scalar Mersenne evaluations beyond cache
+    misses.  Cells are pushed in ascending index order either way — the
+    queue the FIFO peel starts from is identical with or without the
+    cache.  (Keys wider than 61 bits skip priming; they cannot ride the
+    ``uint64`` batch hashes.)
+    """
+    key_limit = 1 << key_bits
+    if cache is not None and key_bits <= 61:
+        seeds = [
+            (index, key)
+            for index in range(len(counts))
+            if (key := divisible_key(counts[index], key_sum[index], key_limit)) is not None
+        ]
+        # Checksums first, for every candidate; cell indices only for
+        # the keys that survive the checksum test — garbage candidates
+        # (impure cells whose sums happen to divide into range) never
+        # get peeled, so their indices would be pure waste.
+        cache.prime([key for _, key in seeds], want_indices=False)
+        survivors = []
+        for index, key in seeds:
+            if cache.check(key) * counts[index] == check_sum[index]:
+                queue.push(index)
+                survivors.append(key)
+        cache.prime(survivors, want_indices=True)
+        return
+    for index in range(len(counts)):
+        key = divisible_key(counts[index], key_sum[index], key_limit)
+        if key is None:
+            continue
+        check = checksum(key) if cache is None else cache.check(key)
+        if check * counts[index] == check_sum[index]:
+            queue.push(index)
 
 
 class PeelQueue:
@@ -71,3 +193,148 @@ class PeelQueue:
         index = self._queue.popleft() if self._fifo else self._queue.pop()
         self._enqueued[index] = 0
         return index
+
+
+class PeelScratch:
+    """Reusable work buffers for the vectorised round-based decoder.
+
+    Created empty (no arrays) so a table can allocate it eagerly and
+    share the *same* object with every clone it spawns — ``subtract``
+    returns a fresh table per reconciliation, and without sharing each
+    decode would pay the allocations again.  Buffers materialise on the
+    first decode and are reused across rounds and across repeated
+    ``decode()`` calls; they are plain work state, so the engine is not
+    re-entrant (nothing in this package decodes concurrently).
+    """
+
+    __slots__ = ("_flags", "_scratch_i64", "_scratch_mask")
+
+    def __init__(self) -> None:
+        self._flags: np.ndarray | None = None
+        self._scratch_i64: np.ndarray | None = None
+        self._scratch_mask: np.ndarray | None = None
+
+    def _ensure(self, m: int) -> None:
+        if self._flags is None or self._flags.shape[0] != m:
+            self._flags = np.zeros(m, dtype=bool)
+            self._scratch_i64 = np.empty(m, dtype=np.int64)
+            self._scratch_mask = np.empty(m, dtype=bool)
+
+    def unique_cells(self, indices: np.ndarray, m: int) -> np.ndarray:
+        """Deduplicate a touched-cell index matrix into sorted cell ids.
+
+        Bincount-style counting dedup: scatter ones into a preallocated
+        flag array, harvest the set bits, reset only what was touched —
+        ``O(m + touched)`` with no sort and no per-round allocation
+        beyond the result, replacing the ``np.unique``/fancy-indexing
+        pass over the duplicated ``(q, n)`` stream.  The ascending
+        result order is load-bearing: it reproduces the rescan oracle's
+        ``np.flatnonzero`` candidate order, which fixes which cell a
+        multiply-pure key's sign is read from.
+        """
+        self._ensure(m)
+        flags = self._flags
+        flags[indices.ravel()] = True
+        cells = np.flatnonzero(flags)
+        flags[cells] = False
+        return cells
+
+    def ones_candidates(self, counts: np.ndarray) -> np.ndarray:
+        """Indices of cells with ``|count| == 1`` (the seeding scan),
+        computed into reusable scratch instead of fresh temporaries."""
+        self._ensure(counts.shape[0])
+        np.absolute(counts, out=self._scratch_i64)
+        np.equal(self._scratch_i64, 1, out=self._scratch_mask)
+        return np.flatnonzero(self._scratch_mask)
+
+
+class KeyHashCache:
+    """Memoised checksum / cell-index evaluations for one hash context.
+
+    The expensive half of every peel step is hashing: the purity test
+    needs ``checksum(key)`` and the peel itself needs the key's ``q``
+    cell indices.  Both are pure functions of the key under the table's
+    public coins, so one table and all its clones (which share hash
+    objects) can share one cache.  :meth:`prime` fills it with the
+    vectorised Mersenne batch hashes; :meth:`check` / :meth:`indices`
+    fall back to scalar evaluation (and memoise) on a miss, which keeps
+    every consumer bit-identical to uncached scalar hashing while
+    collapsing the repeated evaluations the sequential decoders perform
+    — each key is tested once per incident cell and peeled once.
+    """
+
+    __slots__ = ("_block_size", "_cell_hashes", "_checks", "_checksum", "_indices")
+
+    def __init__(
+        self,
+        checksum: "Checksum",
+        cell_hashes: "list[PairwiseHash]",
+        block_size: int,
+    ):
+        self._checksum = checksum
+        self._cell_hashes = cell_hashes
+        self._block_size = block_size
+        self._checks: dict[int, int] = {}
+        self._indices: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._checks)
+
+    def prime(self, keys: "list[int]", want_indices: bool = True) -> None:
+        """Batch-fill the cache for ``keys`` (all below ``2^61``).
+
+        One vectorised checksum pass (and, with ``want_indices``, one
+        broadcast cell-index pass) replaces ``len(keys)`` scalar
+        Mersenne evaluations.  The two stores are primed independently:
+        a seeding scan can prime checksums for every *candidate* first
+        and come back for the cell indices of only the keys that
+        survived the checksum test — indices are only ever consumed at
+        peel time, so priming them for garbage candidates would be
+        wasted work and cache pollution.  Below
+        :data:`CACHE_PRIME_THRESHOLD` missing keys per store the batch
+        overhead is not worth it (the adaptive tail) and misses are
+        left to the scalar fallbacks.
+        """
+        from .iblt import partitioned_cell_indices  # local: import cycle
+
+        unique = list(dict.fromkeys(keys))
+        missing = [key for key in unique if key not in self._checks]
+        if len(missing) >= CACHE_PRIME_THRESHOLD:
+            if len(self._checks) + len(missing) > _CACHE_MAX_ENTRIES:
+                self._checks.clear()
+            key_array = np.array(missing, dtype=np.uint64)
+            self._checks.update(zip(missing, self._checksum.hash_array(key_array).tolist()))
+        if not want_indices:
+            return
+        missing = [key for key in unique if key not in self._indices]
+        if len(missing) < CACHE_PRIME_THRESHOLD:
+            return
+        if len(self._indices) + len(missing) > _CACHE_MAX_ENTRIES:
+            self._indices.clear()
+        key_array = np.array(missing, dtype=np.uint64)
+        matrix = partitioned_cell_indices(self._cell_hashes, self._block_size, key_array)
+        self._indices.update(zip(missing, matrix.T.tolist()))
+
+    def check(self, key: int) -> int:
+        """``checksum(key)``, memoised."""
+        check = self._checks.get(key)
+        if check is None:
+            if len(self._checks) >= _CACHE_MAX_ENTRIES:
+                self._checks.clear()
+            check = self._checksum(key)
+            self._checks[key] = check
+        return check
+
+    def indices(self, key: int) -> list[int]:
+        """The key's ``q`` partitioned cell indices, memoised."""
+        cells = self._indices.get(key)
+        if cells is None:
+            if len(self._indices) >= _CACHE_MAX_ENTRIES:
+                self._indices.clear()
+            block_size = self._block_size
+            cells = [
+                j * block_size + cell_hash(key) % block_size
+                for j, cell_hash in enumerate(self._cell_hashes)
+            ]
+            self._indices[key] = cells
+        return cells

@@ -34,7 +34,13 @@ round.  Any cell that stays pure across a round was itself peeled (its
 key maps to it), hence touched, so the incremental candidate set always
 contains every pure cell and the round sequence is bit-identical to the
 pre-frontier ``"rescan"`` decoder retained in
-:meth:`IBLT._decode_numpy_rescan`.  That argument assumes every cell
+:meth:`IBLT._decode_numpy_rescan`.  The decoder is additionally
+*adaptive* (see :mod:`repro.iblt.frontier`): touched cells are deduped
+through a preallocated flag array shared across rounds and repeated
+``decode()`` calls, and any round whose candidate set falls to at most
+``tail_threshold`` cells runs in scalar arithmetic — the peel frontier
+shrinks geometrically, so the tail of every decode is dominated by
+fixed numpy call overhead unless the engine switches gears.  That argument assumes every cell
 passing the purity test holds a real key; a 61-bit checksum *collision*
 (a cell whose garbage ``key_xor`` happens to satisfy the checksum test
 without hashing to that cell) breaks it — the rescan decoder re-peels
@@ -53,7 +59,7 @@ import numpy as np
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..hashing.mersenne import affine_mod_p, fold_bits, to_field
 from .backend import resolve_backend, resolve_decode_mode
-from .frontier import PeelQueue
+from .frontier import PEEL_TAIL_THRESHOLD, KeyHashCache, PeelQueue, PeelScratch
 
 __all__ = [
     "IBLT",
@@ -222,6 +228,17 @@ class IBLT:
             PairwiseHash(coins, ("iblt-cell", label, j), bits=61) for j in range(q)
         ]
         self.checksum = Checksum(coins, ("iblt-checksum", label), bits=61)
+        #: Candidate-set size at or below which the adaptive frontier
+        #: decoder runs a round in scalar arithmetic.  Behaviour-neutral
+        #: (any value decodes bit-identically); exposed for tests and
+        #: tuning.
+        self.tail_threshold = PEEL_TAIL_THRESHOLD
+        # Decode work state, shared with every clone this table spawns
+        # (`subtract` hands a fresh clone to each reconciliation, and the
+        # buffers/caches are pure functions of the shared hash context),
+        # so repeated decodes reuse one allocation.  Not thread-safe.
+        self._scratch = PeelScratch()
+        self._hash_cache = KeyHashCache(self.checksum, self._cell_hashes, self.block_size)
         self._alloc_cells()
 
     def _alloc_cells(self) -> None:
@@ -391,6 +408,9 @@ class IBLT:
         clone.decode_mode = self.decode_mode
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
+        clone.tail_threshold = self.tail_threshold
+        clone._scratch = self._scratch
+        clone._hash_cache = self._hash_cache
         clone._alloc_cells()
         return clone
 
@@ -456,23 +476,19 @@ class IBLT:
             self.check_xor == self.checksum.hash_array(self.key_xor)
         )
 
-    def _pure_cells(self) -> np.ndarray:
-        """Indices of all pure cells, testing checksums only where
-        ``|count| == 1`` (the checksum hash is the expensive half)."""
-        candidates = np.flatnonzero(np.abs(self.counts) == 1)
-        return self._pure_subset(candidates)
+    def _pure_with_keys(self, cells: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pure cells among ``cells`` plus the keys they hold.
 
-    def _pure_subset(self, cells: np.ndarray) -> np.ndarray:
-        """The subset of ``cells`` that currently pass the purity test.
-
-        ``cells`` may contain duplicates (the decoder passes the raw
-        touched-cell matrix); duplicates simply survive or fail the
-        test together and are deduplicated later by the per-round
-        ``np.unique`` over peeled keys.
+        The adaptive frontier decoder always passes deduplicated,
+        ascending candidate arrays (see
+        :meth:`~repro.iblt.frontier.PeelScratch.unique_cells`); the keys
+        gathered for the checksum test are returned alongside so the
+        peel round does not gather them a second time.
         """
         cells = cells[np.abs(self.counts[cells]) == 1]
-        mask = self.check_xor[cells] == self.checksum.hash_array(self.key_xor[cells])
-        return cells[mask]
+        keys = self.key_xor[cells]
+        mask = self.check_xor[cells] == self.checksum.hash_array(keys)
+        return cells[mask], keys[mask]
 
     def decode(self) -> IBLTDecodeResult:
         """Peel the table, recovering the signed symmetric difference.
@@ -488,7 +504,12 @@ class IBLT:
             return self._decode_numpy_frontier()
         return self._decode_python()
 
-    def _peel_round(self, result: IBLTDecodeResult, pure_cells: np.ndarray) -> np.ndarray:
+    def _peel_round(
+        self,
+        result: IBLTDecodeResult,
+        pure_cells: np.ndarray,
+        pure_keys: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Peel one round's pure cells; returns the touched-cell matrix.
 
         A key with count ±1 is simultaneously pure in up to q cells; each
@@ -499,37 +520,103 @@ class IBLT:
         cells whose purity can have changed.  The checksums to scatter
         are read straight out of the pure cells — the purity test just
         proved ``check_xor == checksum(key)`` there — saving a hash pass.
+        ``pure_keys`` (``key_xor[pure_cells]``, if the caller already
+        gathered it for the purity test) likewise saves a re-gather.
         """
-        keys, first = np.unique(self.key_xor[pure_cells], return_index=True)
-        signs = self.counts[pure_cells][first]
-        checks = self.check_xor[pure_cells][first]
+        if pure_keys is None:
+            pure_keys = self.key_xor[pure_cells]
+        keys, first = np.unique(pure_keys, return_index=True)
+        picked = pure_cells[first]
+        signs = self.counts[picked]
+        checks = self.check_xor[picked]
         result.inserted.extend(keys[signs > 0].tolist())
         result.deleted.extend(keys[signs < 0].tolist())
         indices = self.cell_index_matrix(keys)
         self._scatter_at(indices, keys, checks, -signs)
         return indices
 
-    def _decode_numpy_frontier(self) -> IBLTDecodeResult:
-        """Round-based peeling with incremental frontier tracking.
+    def _peel_round_scalar(self, result: IBLTDecodeResult, candidates: list[int]) -> list[int]:
+        """One adaptive-tail round: the same round discipline as
+        :meth:`_peel_round`, in scalar arithmetic.
 
-        The candidate set is seeded from one full pure scan; thereafter
-        each round re-tests only the cells touched by the previous batch
-        peel.  Every cell that is pure at round ``r+1`` was touched at
+        ``candidates`` must be sorted ascending (the rescan candidate
+        order): the first candidate cell that passes the purity test for
+        a key is the cell its sign and checksum are read from, exactly
+        as ``np.unique``'s first-occurrence pick over the ascending pure
+        array.  Distinct keys are then peeled in ascending key order
+        (``sorted`` over Python ints == ``np.unique`` over ``uint64``),
+        so the appended output and the cell mutations are bit-identical
+        to a vectorised round — only the constant factor changes, which
+        is the point: at tail frontier sizes the fixed per-call overhead
+        of each array operation exceeds the round's useful work.
+        """
+        counts, key_xor, check_xor = self.counts, self.key_xor, self.check_xor
+        cache = self._hash_cache
+        peeled: dict[int, tuple[int, int]] = {}
+        for index in candidates:
+            count = counts[index]
+            if count != 1 and count != -1:
+                continue
+            key = int(key_xor[index])
+            if key in peeled:  # sign already fixed by an earlier pure cell
+                continue
+            check = cache.check(key)
+            if int(check_xor[index]) != check:
+                continue
+            peeled[key] = (int(count), check)
+        touched: set[int] = set()
+        for key in sorted(peeled):
+            sign, check = peeled[key]
+            if sign > 0:
+                result.inserted.append(key)
+            else:
+                result.deleted.append(key)
+            key_u64, check_u64 = np.uint64(key), np.uint64(check)
+            for cell in cache.indices(key):
+                counts[cell] -= sign
+                key_xor[cell] ^= key_u64
+                check_xor[cell] ^= check_u64
+                touched.add(cell)
+        return sorted(touched)
+
+    def _decode_numpy_frontier(self) -> IBLTDecodeResult:
+        """Adaptive round-based peeling with incremental frontier tracking.
+
+        The candidate set is seeded from one ``|count| == 1`` scan;
+        thereafter each round re-tests only the cells touched by the
+        previous batch peel, deduplicated through the shared
+        :class:`~repro.iblt.frontier.PeelScratch` flag array instead of
+        a sort-based ``np.unique`` over the duplicated ``(q, n)``
+        stream.  Every cell that is pure at round ``r+1`` was touched at
         round ``r`` (a cell pure in both rounds had its own key peeled,
         and that key maps to it), so the candidates always cover the
         full pure set and the round sequence — hence the decode output —
         is bit-identical to :meth:`_decode_numpy_rescan`.
+
+        Rounds adapt to the frontier: once the candidate set is at most
+        :attr:`tail_threshold` cells the round runs through
+        :meth:`_peel_round_scalar` (and returns to vectorised rounds if
+        the frontier regrows), so the geometric tail of the peel pays
+        scalar constants instead of array-call overhead.
         """
         result = IBLTDecodeResult(success=False)
-        pure_cells = self._pure_cells()
+        scratch = self._scratch
+        candidates = scratch.ones_candidates(self.counts)
         # Round cap as in the rescan decoder: peeling depth is O(log m)
         # w.h.p.; the cap only guards against checksum-fluke cycles (the
         # success check below still decides the outcome).
-        for _round in range(2 * self.m + 64):
+        rounds_left = 2 * self.m + 64
+        while rounds_left > 0 and candidates.size:
+            rounds_left -= 1
+            if candidates.size <= self.tail_threshold:
+                touched_cells = self._peel_round_scalar(result, candidates.tolist())
+                candidates = np.asarray(touched_cells, dtype=np.int64)
+                continue
+            pure_cells, pure_keys = self._pure_with_keys(candidates)
             if pure_cells.size == 0:
                 break
-            touched = self._peel_round(result, pure_cells)
-            pure_cells = self._pure_subset(touched.ravel())
+            touched = self._peel_round(result, pure_cells, pure_keys)
+            candidates = scratch.unique_cells(touched, self.m)
         result.success = bool(
             not self.counts.any()
             and not self.key_xor.any()

@@ -38,7 +38,7 @@ import numpy as np
 
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..metric.spaces import Point
-from .frontier import PeelQueue
+from .frontier import KeyHashCache, PeelQueue, divisible_key, seed_sum_cell_queue
 from .iblt import partitioned_cell_indices
 
 __all__ = ["RIBLT", "RIBLTDecodeResult", "riblt_cells_for_pairs"]
@@ -125,6 +125,10 @@ class RIBLT:
             PairwiseHash(coins, ("riblt-cell", label, j), bits=61) for j in range(q)
         ]
         self.checksum = Checksum(coins, ("riblt-checksum", label), bits=61)
+        # Decode hash cache, shared with every clone (`subtract` hands a
+        # fresh clone to each reconciliation round; the cached values
+        # are pure functions of the key under the shared coins).
+        self._hash_cache = KeyHashCache(self.checksum, self._cell_hashes, self.block_size)
         self.counts = [0] * self.m
         self.key_sum = [0] * self.m
         self.check_sum = [0] * self.m
@@ -223,37 +227,46 @@ class RIBLT:
         indices = self.cell_index_matrix(keys)  # (q, n)
         low_mask = np.uint64(0xFFFFFFFF)
         shift = np.uint64(32)
-        key_low = (keys & low_mask).astype(np.int64)
-        key_high = (keys >> shift).astype(np.int64)
-        check_low = (checks & low_mask).astype(np.int64)
-        check_high = (checks >> shift).astype(np.int64)
-        key_low_delta = np.zeros(self.m, dtype=np.int64)
-        key_high_delta = np.zeros(self.m, dtype=np.int64)
-        check_low_delta = np.zeros(self.m, dtype=np.int64)
-        check_high_delta = np.zeros(self.m, dtype=np.int64)
-        value_delta = np.zeros((self.m, self.dim), dtype=np.int64)
+        # One flat int64 accumulator holding `lanes` slots per cell (4
+        # key/checksum limbs + dim value coordinates), so every scatter
+        # is a single fast-path 1-d np.add.at — a 2-d `.at` on the value
+        # matrix falls off numpy's unbuffered fast path and dominated
+        # this function's profile.
+        lanes = 4 + self.dim
+        lane_values = np.concatenate(
+            [
+                (keys & low_mask).astype(np.int64)[None, :],
+                (keys >> shift).astype(np.int64)[None, :],
+                (checks & low_mask).astype(np.int64)[None, :],
+                (checks >> shift).astype(np.int64)[None, :],
+                values.T,
+            ],
+            axis=0,
+        )  # (lanes, n)
+        lane_offsets = np.arange(lanes, dtype=np.int64)[:, None]
+        delta = np.zeros(self.m * lanes, dtype=np.int64)
         for j in range(self.q):
-            row = indices[j]
-            np.add.at(key_low_delta, row, key_low)
-            np.add.at(key_high_delta, row, key_high)
-            np.add.at(check_low_delta, row, check_low)
-            np.add.at(check_high_delta, row, check_high)
-            np.add.at(value_delta, row, values)
+            flat = (indices[j] * lanes)[None, :] + lane_offsets
+            np.add.at(delta, flat.ravel(), lane_values.ravel())
         count_delta = np.bincount(indices.reshape(-1), minlength=self.m)
         touched = np.flatnonzero(count_delta)
+        # Merge once per touched cell, through plain Python lists — the
+        # limb recombination shifts must run on Python ints (a cell's
+        # int64 lane sums can exceed 2^31 in the high limb, and the
+        # unbounded cell sums are exact by contract), and list indexing
+        # beats ndarray scalar extraction several-fold in this loop.
         counts, key_sum, check_sum = self.counts, self.key_sum, self.check_sum
-        for index in touched.tolist():
-            counts[index] += sign * int(count_delta[index])
-            key_sum[index] += sign * (
-                int(key_low_delta[index]) + (int(key_high_delta[index]) << 32)
-            )
-            check_sum[index] += sign * (
-                int(check_low_delta[index]) + (int(check_high_delta[index]) << 32)
-            )
+        count_list = count_delta[touched].tolist()
+        lane_rows = delta.reshape(self.m, lanes)[touched].tolist()
+        dim = self.dim
+        for position, index in enumerate(touched.tolist()):
+            row = lane_rows[position]
+            counts[index] += sign * count_list[position]
+            key_sum[index] += sign * (row[0] + (row[1] << 32))
+            check_sum[index] += sign * (row[2] + (row[3] << 32))
             cell_value = self.value_sum[index]
-            delta_row = value_delta[index]
-            for coordinate in range(self.dim):
-                cell_value[coordinate] += sign * int(delta_row[coordinate])
+            for coordinate in range(dim):
+                cell_value[coordinate] += sign * row[4 + coordinate]
 
     def _update_pairs(self, pairs: Iterable[tuple[int, Point]], sign: int) -> None:
         """Batched insert/delete: cell indices and checksums are computed
@@ -316,6 +329,7 @@ class RIBLT:
         clone.label = self.label
         clone._cell_hashes = self._cell_hashes
         clone.checksum = self.checksum
+        clone._hash_cache = self._hash_cache
         clone.counts = [0] * self.m
         clone.key_sum = [0] * self.m
         clone.check_sum = [0] * self.m
@@ -331,23 +345,20 @@ class RIBLT:
         return clone
 
     # -- purity --------------------------------------------------------------
-    def _pure_key(self, index: int) -> int | None:
+    def _pure_key(self, index: int, cache: KeyHashCache | None = None) -> int | None:
         """Return the key if cell ``index`` passes the multi-copy purity test.
 
         Section 2.2 item 5: the cell holds ``C`` copies of one key when the
         key sum is divisible by the count, the quotient is a valid key, and
-        ``checksum(K/C) · C == S``.
+        ``checksum(K/C) · C == S``.  ``cache`` memoises the checksum
+        evaluation (a pure function of the key), which never changes the
+        verdict — only the cost of reaching it.
         """
-        count = self.counts[index]
-        if count == 0:
+        key = divisible_key(self.counts[index], self.key_sum[index], 1 << self.key_bits)
+        if key is None:
             return None
-        key_total = self.key_sum[index]
-        if key_total % count != 0:
-            return None
-        key = key_total // count
-        if not 0 <= key < (1 << self.key_bits):
-            return None
-        if self.checksum(key) * count != self.check_sum[index]:
+        check = self.checksum(key) if cache is None else cache.check(key)
+        if check * self.counts[index] != self.check_sum[index]:
             return None
         return key
 
@@ -381,32 +392,49 @@ class RIBLT:
         return points
 
     # -- decoding ------------------------------------------------------------
-    def decode(self, rng: random.Random | None = None) -> RIBLTDecodeResult:
+    def decode(
+        self, rng: random.Random | None = None, engine: str | None = None
+    ) -> RIBLTDecodeResult:
         """Breadth-first peeling of the (subtracted) table.
 
         Destructive.  ``rng`` drives the randomized rounding of averaged
         values (the decoder's private randomness; defaults to a fixed
         seed for reproducibility).
 
+        ``engine`` selects how the per-step hashes are evaluated:
+        ``"cached"`` (the default) batch-primes the shared
+        :class:`~repro.iblt.frontier.KeyHashCache` with one vectorised
+        Mersenne pass and memoises everything else; ``"scalar"`` is the
+        pre-engine reference that hashes scalar-per-step.  The peel
+        *sequence* — FIFO order, snapshot subtraction, value rounding —
+        is identical either way (the cache holds pure functions of the
+        key), so both engines produce bit-identical results; tests pin
+        this.
+
         ``success`` requires every cell to end with zero count, key sum and
         checksum sum; *value* residue may remain -- that is the error the
         protocol's analysis charges to the in-bucket matching.
         """
+        if engine not in (None, "cached", "scalar"):
+            raise ValueError(f"engine must be 'cached' or 'scalar', got {engine!r}")
         if rng is None:
             rng = random.Random(0x5EED)
         result = RIBLTDecodeResult(success=False)
+        cache = self._hash_cache if engine != "scalar" else None
 
         # Breadth-first frontier (item 1: FIFO order, which Lemma 3.10's
         # error-propagation analysis depends on), fed incrementally with
-        # the cells each peel touches.
+        # the cells each peel touches; the seeding scan batch-primes the
+        # cache in the same pass.
         queue = PeelQueue(self.m, fifo=True)
-        for index in range(self.m):
-            if self._pure_key(index) is not None:
-                queue.push(index)
+        seed_sum_cell_queue(
+            self.counts, self.key_sum, self.check_sum, self.key_bits,
+            queue, cache, self.checksum,
+        )
 
         while queue:
             index = queue.pop()
-            key = self._pure_key(index)
+            key = self._pure_key(index, cache)
             if key is None:
                 continue
             result.peel_rounds += 1
@@ -427,14 +455,20 @@ class RIBLT:
             snapshot_key = self.key_sum[index]
             snapshot_check = self.check_sum[index]
             snapshot_value = list(self.value_sum[index])
-            for neighbor in self.cell_indices(key):
+            neighbors = (
+                self.cell_indices(key) if cache is None else cache.indices(key)
+            )
+            for neighbor in neighbors:
                 self.counts[neighbor] -= snapshot_count
                 self.key_sum[neighbor] -= snapshot_key
                 self.check_sum[neighbor] -= snapshot_check
                 neighbor_value = self.value_sum[neighbor]
                 for coordinate in range(self.dim):
                     neighbor_value[coordinate] -= snapshot_value[coordinate]
-                if not queue.pending(neighbor) and self._pure_key(neighbor) is not None:
+                if (
+                    not queue.pending(neighbor)
+                    and self._pure_key(neighbor, cache) is not None
+                ):
                     queue.push(neighbor)
 
         result.success = all(

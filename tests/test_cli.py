@@ -164,3 +164,60 @@ class TestSweepCommand:
         assert main(args + ["--jobs", "1", "--output", str(serial)]) == 0
         assert main(args + ["--jobs", "2", "--output", str(parallel)]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_multiple_campaigns_share_one_runner(self, tmp_path):
+        """Repeatable --campaign writes one report per campaign through a
+        single persistent pool; bytes match single-campaign runs."""
+        outdir = tmp_path / "sweeps"
+        code = main([
+            "sweep", "--campaign", "iblt-threshold", "--campaign", "emd-levels",
+            "--seed", "7", "--trials", "1", "--jobs", "2",
+            "--output-dir", str(outdir),
+        ])
+        assert code == 0
+        multi = {
+            "iblt-threshold": (outdir / "sweep-iblt-threshold.json").read_bytes(),
+            "emd-levels": (outdir / "sweep-emd-levels.json").read_bytes(),
+        }
+        for name, payload in multi.items():
+            single = tmp_path / f"single-{name}.json"
+            assert main([
+                "sweep", "--campaign", name, "--seed", "7", "--trials", "1",
+                "--output", str(single),
+            ]) == 0
+            assert payload == single.read_bytes()
+
+    def test_output_rejects_multiple_campaigns(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--campaign", "iblt-threshold", "--campaign", "emd-levels",
+            "--output", str(tmp_path / "one.json"),
+        ])
+        assert code == 2
+        assert "--output-dir" in capsys.readouterr().err
+
+    def test_stdout_rejects_multiple_campaigns(self, capsys):
+        code = main([
+            "sweep", "--campaign", "iblt-threshold", "--campaign", "emd-levels",
+            "--trials", "1",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "--output-dir" in captured.err
+        assert captured.out == ""  # no half-written JSON stream
+
+    def test_output_and_output_dir_mutually_exclusive(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--campaign", "iblt-threshold", "--campaign", "emd-levels",
+            "--output", str(tmp_path / "one.json"),
+            "--output-dir", str(tmp_path / "dir"),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert not (tmp_path / "one.json").exists()
+        assert not (tmp_path / "dir").exists()
+
+    def test_new_campaigns_listed(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "emd-branching" in out
+        assert "multiparty-parties" in out

@@ -184,6 +184,99 @@ class TestFrontierParity:
         assert outcomes["frontier"].difference_count == 2 * differences
 
 
+class TestAdaptiveThreshold:
+    """The adaptive tail is behaviour-neutral: ANY ``tail_threshold`` —
+    always-vectorised (0), always-scalar (huge), or boundary values that
+    make the decode cross the switch mid-peel — must reproduce the
+    rescan oracle bit-for-bit."""
+
+    THRESHOLDS = (0, 1, 2, 7, 33, 1 << 30)
+
+    @given(
+        alice=st.lists(st.integers(0, KEY_MAX), min_size=0, max_size=60, unique=True),
+        bob=st.lists(st.integers(0, KEY_MAX), min_size=0, max_size=60, unique=True),
+        threshold=st.sampled_from(THRESHOLDS),
+        cells=st.sampled_from([12, 24, 48, 96]),
+        seed=st.integers(0, 1 << 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_threshold_matches_rescan(self, alice, bob, threshold, cells, seed):
+        """Reconciliation decodes across the switch boundary: thresholds
+        below, inside and above the frontier-size range all peel the
+        same rounds."""
+        coins = PublicCoins(seed)
+        tables = _fresh_tables(coins, cells)
+        diffs = {}
+        for mode, table in tables.items():
+            other = IBLT(coins, "fd", cells=cells, q=3, key_bits=KEY_BITS,
+                         backend=table.backend)
+            table.insert_all(bob)
+            other.insert_all(alice)
+            diffs[mode] = table.subtract(other)
+        diffs["frontier"].tail_threshold = threshold
+        results = _decode_all(diffs)
+        _assert_frontier_matches_oracles(diffs, results)
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 150), st.sampled_from([1, -1])),
+            min_size=0,
+            max_size=100,
+        ),
+        threshold=st.sampled_from(THRESHOLDS),
+        cells=st.sampled_from([9, 24, 45]),
+        seed=st.integers(0, 1 << 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiset_counts_any_threshold(self, updates, threshold, cells, seed):
+        """Duplicates, repeated deletes and |count| > 1 cells through the
+        scalar tail: the sign/checksum bookkeeping of the scalar round
+        must pick the same first-occurrence cells the vectorised
+        ``np.unique`` pass does."""
+        coins = PublicCoins(seed)
+        tables = _fresh_tables(coins, cells)
+        for table in tables.values():
+            _apply_signed(table, updates)
+        tables["frontier"].tail_threshold = threshold
+        results = _decode_all(tables)
+        _assert_frontier_matches_rescan(tables, results)
+
+    @pytest.mark.parametrize("threshold", THRESHOLDS)
+    def test_undecodable_overload_any_threshold(self, coins, threshold):
+        """The unpeelable 2-core is threshold-invariant, including the
+        partial peel output recovered on the way in."""
+        rng = np.random.default_rng(23)
+        keys = rng.choice(KEY_MAX, size=180, replace=False).tolist()
+        tables = _fresh_tables(coins, cells=60)
+        for table in tables.values():
+            table.insert_all(keys)
+        tables["frontier"].tail_threshold = threshold
+        results = _decode_all(tables)
+        _assert_frontier_matches_oracles(tables, results)
+        assert not results["frontier"].success
+
+    def test_straddling_thresholds_cross_the_switch(self, coins):
+        """A near-threshold table peels through shrinking rounds; picking
+        thresholds inside the observed frontier-size range forces the
+        vector->scalar switch to happen mid-decode (and the output to
+        stay pinned)."""
+        rng = np.random.default_rng(0xBEEF)
+        differences = 120
+        cells = int(2 * differences / 0.7)
+        keys = rng.choice(KEY_MAX, size=differences, replace=False).astype(np.uint64)
+        reference = None
+        for threshold in (0, 4, 16, 48, 130, 1 << 30):
+            table = IBLT(coins, "straddle", cells=cells, q=3, key_bits=KEY_BITS,
+                         backend="numpy", decode_mode="frontier")
+            table.insert_batch(keys)
+            table.tail_threshold = threshold
+            result = table.decode()
+            outcome = (result.success, result.inserted, result.deleted)
+            if reference is None:
+                reference = outcome
+            assert outcome == reference
+
+
 class TestDecodeModeSelection:
     def test_default_is_frontier(self, coins, monkeypatch):
         monkeypatch.delenv("REPRO_DECODE", raising=False)

@@ -126,10 +126,58 @@ class TestRunner:
     def test_parallel_report_is_byte_identical_to_serial(self):
         sweep = tiny_sweep(trials=2)
         serial = SweepRunner(backend="numpy", jobs=1).run(sweep, seed=SEED)
-        parallel = SweepRunner(backend="numpy", jobs=2).run(sweep, seed=SEED)
+        with SweepRunner(backend="numpy", jobs=2) as runner:
+            parallel = runner.run(sweep, seed=SEED)
         assert render_sweep_report(sweep, parallel, seed=SEED) == render_sweep_report(
             sweep, serial, seed=SEED
         )
+
+    def test_persistent_pool_survives_campaigns(self):
+        """One pool serves consecutive campaigns and every chunking."""
+        first = tiny_sweep(trials=2)
+        second = tiny_sweep(trials=3)
+        serial = SweepRunner(backend="numpy", jobs=1)
+        with SweepRunner(backend="numpy", jobs=2, chunk_trials=3) as runner:
+            assert runner._pool is None  # lazy until the first parallel run
+            results_first = runner.run(first, seed=SEED)
+            pool = runner._pool
+            assert pool is not None
+            results_second = runner.run(second, seed=SEED)
+            assert runner._pool is pool  # reused, not rebuilt
+            for sweep, results in ((first, results_first), (second, results_second)):
+                assert render_sweep_report(
+                    sweep, results, seed=SEED
+                ) == render_sweep_report(sweep, serial.run(sweep, seed=SEED), seed=SEED)
+        assert runner._pool is None  # context exit closed it
+
+    def test_chunk_sizes_cannot_change_reports(self):
+        """Chunking is transport only: every chunk size, same bytes."""
+        sweep = tiny_sweep(trials=2)
+        baseline = render_sweep_report(
+            sweep, SweepRunner(backend="numpy", jobs=1).run(sweep, seed=SEED), seed=SEED
+        )
+        for chunk in (1, 3, 100):
+            with SweepRunner(backend="numpy", jobs=2, chunk_trials=chunk) as runner:
+                report = render_sweep_report(
+                    sweep, runner.run(sweep, seed=SEED), seed=SEED
+                )
+            assert report == baseline
+
+    def test_chunk_trials_validated(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=2, chunk_trials=0)
+        assert SweepRunner(jobs=2)._chunk_size(16) == 2
+        assert SweepRunner(jobs=2, chunk_trials=5)._chunk_size(16) == 5
+        assert SweepRunner(jobs=4)._chunk_size(1) == 1
+
+    def test_close_is_idempotent(self):
+        runner = SweepRunner(backend="numpy", jobs=2)
+        runner.run(tiny_sweep(trials=2), seed=SEED)
+        runner.close()
+        runner.close()
+        # and a closed runner can lazily re-open on the next run
+        runner.run(tiny_sweep(trials=2), seed=SEED)
+        runner.close()
 
     def test_backend_recorded(self, tiny_points):
         assert all(
@@ -178,9 +226,15 @@ class TestReport:
 
 
 class TestBuiltinCampaigns:
-    def test_all_three_exist(self):
+    def test_all_five_exist(self):
         campaigns = builtin_campaigns()
-        assert set(campaigns) == {"iblt-threshold", "gap-ratio", "emd-levels"}
+        assert set(campaigns) == {
+            "iblt-threshold",
+            "gap-ratio",
+            "emd-levels",
+            "emd-branching",
+            "multiparty-parties",
+        }
         for name, campaign in campaigns.items():
             assert campaign.name == name
             assert campaign.trials >= 1
@@ -215,3 +269,35 @@ class TestBuiltinCampaigns:
         result = ScenarioRunner(backend="numpy").run(trial.spec)
         assert isinstance(trial.spec, ScenarioSpec)
         assert result.metrics["true_differences"] == 64
+
+    def test_emd_branching_rides_the_scaled_wrapper(self):
+        """The branching-factor axis drives the interval-scaled protocol:
+        the interval count must shrink as the ratio grows."""
+        campaign = builtin_campaigns()["emd-branching"]
+        assert campaign.base_params["scaled"] is True
+        trials = {
+            trial.point["ratio"]: trial
+            for trial in campaign.trial_specs(SEED)
+            if trial.trial_index == 0
+        }
+        intervals = {}
+        for ratio in (2, 8):
+            result = ScenarioRunner(backend="numpy").run(trials[ratio].spec)
+            assert result.success
+            intervals[ratio] = result.metrics["intervals"]
+        assert intervals[2] > intervals[8]
+
+    def test_multiparty_campaign_cost_grows_with_parties(self):
+        campaign = builtin_campaigns()["multiparty-parties"]
+        trials = {
+            trial.point["parties"]: trial
+            for trial in campaign.trial_specs(SEED)
+            if trial.trial_index == 0
+        }
+        bits = {}
+        for parties in (2, 4):
+            result = ScenarioRunner(backend="numpy").run(trials[parties].spec)
+            assert result.success
+            assert result.metrics["parties"] == parties
+            bits[parties] = result.metrics["bits"]
+        assert bits[4] > bits[2]
