@@ -48,6 +48,12 @@ from .core import (
     solve_index_via_gap,
     verify_gap_guarantee,
 )
+from .errors import (
+    DecodeError,
+    MalformedPayloadError,
+    SketchUndecodableError,
+    TruncatedPayloadError,
+)
 from .experiments import (
     ScenarioResult,
     ScenarioRunner,
@@ -64,12 +70,15 @@ from .lsh import (
     PStableMLSH,
 )
 from .metric import GridSpace, HammingSpace, MetricSpace, Point, emd, emd_k
-from .protocol import Channel
+from .protocol import Channel, FaultSpec, FaultyChannel
 from .reconcile import (
     QuadtreeEMDProtocol,
+    RecoveryReport,
+    ResilienceConfig,
     exact_iblt_reconcile,
     naive_full_transfer,
     naive_union_transfer,
+    resilient_reconcile,
 )
 from .setsofsets import SetsOfSetsReconciler
 from .workloads import ReconciliationWorkload, noisy_replica_pair, perturb_point
@@ -111,10 +120,19 @@ __all__ = [
     "emd",
     "emd_k",
     "Channel",
+    "DecodeError",
+    "MalformedPayloadError",
+    "SketchUndecodableError",
+    "TruncatedPayloadError",
+    "FaultSpec",
+    "FaultyChannel",
     "QuadtreeEMDProtocol",
+    "RecoveryReport",
+    "ResilienceConfig",
     "exact_iblt_reconcile",
     "naive_full_transfer",
     "naive_union_transfer",
+    "resilient_reconcile",
     "SetsOfSetsReconciler",
     "ReconciliationWorkload",
     "noisy_replica_pair",

@@ -1,0 +1,62 @@
+"""Typed failure surface for everything that parses untrusted bytes.
+
+Deserializers in :mod:`repro.protocol.serialize`,
+:mod:`repro.protocol.tables` and the IBLT array-loading paths raise
+exceptions from this single :class:`DecodeError` hierarchy — never bare
+``IndexError``/``ValueError``/``struct`` noise — so recovery code (the
+resilient reconciliation controller in
+:mod:`repro.reconcile.resilient`) can catch one type and still
+distinguish *what* failed:
+
+* :class:`TruncatedPayloadError` / :class:`MalformedPayloadError` — the
+  received bytes themselves are damaged (re-request the message);
+* :class:`SketchUndecodableError` — the bytes parsed fine but the sketch
+  could not be peeled, i.e. the table was undersized for the actual
+  difference (escalate the cell count).
+
+For backward compatibility the payload errors multiply inherit from the
+stdlib types historically raised on the same paths (``EOFError`` for
+truncation, ``ValueError`` for structural damage), so pre-existing
+``except EOFError`` / ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DecodeError",
+    "TruncatedPayloadError",
+    "MalformedPayloadError",
+    "SketchUndecodableError",
+]
+
+
+class DecodeError(Exception):
+    """Base class: decoding a received payload or sketch failed."""
+
+
+class TruncatedPayloadError(DecodeError, EOFError):
+    """The payload ended mid-value (bits ran out while parsing).
+
+    Also an ``EOFError``: truncation was historically reported as
+    ``EOFError("bit stream exhausted")`` and callers may still catch it
+    as such.
+    """
+
+
+class MalformedPayloadError(DecodeError, ValueError):
+    """The payload is structurally invalid (cannot have been written
+    by the matching serializer): impossible varint continuations,
+    out-of-range cell contents, wrong array shapes or dtypes.
+
+    Also a ``ValueError`` for backward compatibility with callers that
+    predate the typed hierarchy.
+    """
+
+
+class SketchUndecodableError(DecodeError):
+    """A well-formed sketch failed to decode (peeling left a 2-core).
+
+    Raised by recovery-aware callers when ``decode()`` reports failure;
+    the sketch was parsed correctly but undersized for the difference it
+    had to carry, so the remedy is a bigger table, not a re-request.
+    """

@@ -38,10 +38,11 @@ from ..hashing import PublicCoins
 from ..iblt import IBLT
 from ..lsh import BitSamplingMLSH
 from ..metric import GridSpace, HammingSpace, MetricSpace, emd
-from ..protocol import Channel
+from ..protocol import Channel, FaultSpec, FaultyChannel
 from ..protocol.tables import iblt_payload
 from ..reconcile import exact_iblt_reconcile
 from ..reconcile.exact_iblt import exact_iblt_reconcile_auto
+from ..reconcile.resilient import ResilienceConfig, resilient_reconcile
 from ..reconcile.strata import StrataEstimator, strata_payload
 from ..setsofsets import SetsOfSetsReconciler
 from ..workloads import noisy_replica_pair, perturb_point, random_far_point
@@ -394,6 +395,70 @@ def _drive_iblt_load(
     }
 
 
+def _drive_resilient(
+    spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
+) -> dict:
+    """Self-healing reconciliation over a (possibly faulty) channel.
+
+    Runs :func:`~repro.reconcile.resilient.resilient_reconcile` on a
+    Hamming workload; with any fault rate set the channel is wrapped in a
+    :class:`~repro.protocol.faults.FaultyChannel` whose fault stream is
+    derived from the scenario coins, so every metric — including the
+    recovery path — is deterministic for a fixed spec.  ``success`` is
+    the controller's end-to-end verdict (Bob reached the union despite
+    faults/overload); the recovery-path metrics are what the fault-rate
+    sweep campaign aggregates.
+    """
+    p = spec.params
+    space = HammingSpace(p["dim"])
+    shared = space.sample(rng, p["n"])
+    delta = p["delta"]
+    alice = shared + space.sample(rng, delta // 2)
+    bob = shared + space.sample(rng, delta - delta // 2)
+    fault_spec = FaultSpec(
+        drop_rate=p.get("drop_rate", 0.0),
+        truncate_rate=p.get("truncate_rate", 0.0),
+        flip_rate=p.get("flip_rate", 0.0),
+        duplicate_rate=p.get("duplicate_rate", 0.0),
+    )
+    channel: Channel | FaultyChannel = Channel()
+    if fault_spec.any_faults:
+        channel = FaultyChannel(channel, fault_spec, coins.child("scenario-faults"))
+    config = ResilienceConfig(
+        max_attempts=p.get("max_attempts", 8),
+        max_escalations=p.get("max_escalations", 2),
+    )
+    result = resilient_reconcile(
+        space,
+        alice,
+        bob,
+        delta_bound=p["delta_bound"],
+        coins=coins.child("resilient"),
+        channel=channel,
+        config=config,
+    )
+    report = result.report
+    metrics = {
+        "success": bool(result.success),
+        "rounds": result.rounds,
+        "bits": result.total_bits,
+        "attempts": len(report.attempts),
+        "escalations": report.escalations,
+        "rerequests": report.rerequests,
+        "breaker_tripped": bool(report.breaker_tripped),
+        "recovery_bits": report.recovery_bits,
+        "union_reached": bool(set(result.bob_final) == set(alice) | set(bob)),
+    }
+    if report.faults:
+        metrics["fault_events"] = report.faults["faulted"]
+        metrics["faults_dropped"] = report.faults["dropped"]
+        metrics["faults_truncated"] = report.faults["truncated"]
+        metrics["faults_flipped"] = report.faults["flipped"]
+        metrics["faults_duplicated"] = report.faults["duplicated"]
+        metrics["fault_bits_lost"] = report.faults["bits_lost"]
+    return metrics
+
+
 def _drive_multiparty(
     spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
 ) -> dict:
@@ -443,6 +508,7 @@ DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], di
     "exact-auto": _drive_exact_auto,
     "iblt-load": _drive_iblt_load,
     "multiparty": _drive_multiparty,
+    "resilient-recon": _drive_resilient,
 }
 
 
@@ -526,5 +592,18 @@ def builtin_scenarios(seed: int = 0) -> list[ScenarioSpec]:
             "multiparty",
             seed,
             {"dim": 96, "n": 12, "parties": 3, "r1": 2.0, "r2": 32.0},
+        ),
+        # delta_bound 1 against 12 true differences forces the primary
+        # attempt (and the single allowed escalation) to fail, tripping
+        # the breaker into the strata-sized fallback; drop/truncate
+        # faults on top force re-requests.  The smoke point must *still*
+        # recover — that is the gate CI's fault-smoke job enforces.
+        ScenarioSpec(
+            "resilient-recon-faulty",
+            "resilient-recon",
+            seed,
+            {"dim": 40, "n": 64, "delta": 12, "delta_bound": 1,
+             "max_escalations": 1, "max_attempts": 10,
+             "drop_rate": 0.25, "truncate_rate": 0.25, "duplicate_rate": 0.1},
         ),
     ]

@@ -40,9 +40,9 @@ Layers
     times never enter the document.
 
 :func:`builtin_campaigns`
-    Five paper-style curves: ``iblt-threshold``, ``gap-ratio``,
-    ``emd-levels``, ``emd-branching`` and ``multiparty-parties``,
-    exposed as ``python -m repro.cli sweep``.
+    Six paper-style curves: ``iblt-threshold``, ``gap-ratio``,
+    ``emd-levels``, ``emd-branching``, ``fault-rate`` and
+    ``multiparty-parties``, exposed as ``python -m repro.cli sweep``.
 """
 
 from __future__ import annotations
@@ -399,6 +399,25 @@ def with_trials(sweep: SweepSpec, trials: int) -> SweepSpec:
 # -- built-in campaigns -----------------------------------------------------
 
 
+def _derive_fault_rate(params: dict) -> dict:
+    """Split the swept ``fault_rate`` axis into the component fault rates.
+
+    One scalar axis traces the whole damage spectrum: 40% of the rate
+    goes to drops, 30% to truncations, 20% to duplications and 10% to
+    bit flips, so the curve mixes fully detectable faults (drop,
+    truncate — typed decode errors) with silent ones (flips on the
+    unchecksummed point list), which is what makes the measured
+    success-rate-vs-corruption curve honest.
+    """
+    params = dict(params)
+    rate = params.pop("fault_rate")
+    params["drop_rate"] = round(0.4 * rate, 6)
+    params["truncate_rate"] = round(0.3 * rate, 6)
+    params["duplicate_rate"] = round(0.2 * rate, 6)
+    params["flip_rate"] = round(0.1 * rate, 6)
+    return params
+
+
 def _derive_gap_ratio(params: dict) -> dict:
     """Turn the swept ``ratio`` axis into the dependent gap parameters.
 
@@ -431,6 +450,12 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
         ``b`` (Corollary 3.5's geometric interval ratio): smaller ``b``
         means more parallel Algorithm 1 instances, each cheaper —
         ``[D1, D2]`` splits into ``ceil(log_b(D2/D1))`` intervals.
+    ``fault-rate``
+        Success rate and total recovery bits of the resilient
+        reconciliation controller against the per-message fault
+        probability (split across drop/truncate/duplicate/flip by
+        :func:`_derive_fault_rate`): the measured cost of self-healing
+        as the channel degrades.
     ``multiparty-parties``
         Total star-topology cost against the party count: the
         multi-party lift runs one two-party Gap reconciliation per
@@ -500,6 +525,25 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
                 "far_radius": 16.0,
             },
             trials=3,
+        ),
+        SweepSpec(
+            name="fault-rate",
+            protocol="resilient-recon",
+            # 0 is the no-fault control point (recovery engages only on
+            # the rare small-table 2-core); the top of the axis damages
+            # roughly every other message, where recovery is exercised
+            # hard but the retry budget still usually lands the union.
+            axes={"fault_rate": (0.0, 0.15, 0.3, 0.45)},
+            base_params={
+                "dim": 40,
+                "n": 48,
+                "delta": 8,
+                "delta_bound": 16,
+                "max_attempts": 10,
+                "max_escalations": 2,
+            },
+            trials=6,
+            derive=_derive_fault_rate,
         ),
         SweepSpec(
             name="multiparty-parties",

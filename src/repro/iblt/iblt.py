@@ -56,6 +56,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..errors import MalformedPayloadError
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..hashing.mersenne import affine_mod_p, fold_bits, to_field
 from .backend import resolve_backend, resolve_decode_mode
@@ -67,7 +68,52 @@ __all__ = [
     "cells_for_differences",
     "coerce_key_array",
     "partitioned_cell_indices",
+    "validate_cell_ints",
 ]
+
+
+def validate_cell_ints(
+    values: "np.ndarray | Iterable[int]",
+    name: str,
+    length: int,
+    minimum: int,
+    maximum: int,
+) -> list[int]:
+    """Validate an untrusted cell-array snapshot into a list of ints.
+
+    Shared by :meth:`IBLT.load_arrays` and :meth:`RIBLT.load_arrays`:
+    the input must be a 1-d integer array (or iterable of Python ints —
+    ``object`` dtype is accepted for unbounded RIBLT sums) of exactly
+    ``length`` elements, every value inside ``[minimum, maximum]``.
+    Anything else — float or bool dtypes that would silently truncate or
+    misdecode later, wrong shapes, out-of-range cells — raises
+    :class:`~repro.errors.MalformedPayloadError`.
+    """
+    arr = values if isinstance(values, np.ndarray) else np.asarray(list(values))
+    if arr.shape != (length,):
+        raise MalformedPayloadError(
+            f"{name} must have shape ({length},), got {arr.shape}"
+        )
+    if arr.dtype.kind == "O":
+        items = arr.tolist()
+        for value in items:
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise MalformedPayloadError(
+                    f"{name} must contain integers, got {type(value).__name__}"
+                )
+        items = [int(value) for value in items]
+    elif arr.dtype.kind in ("i", "u"):
+        items = [int(value) for value in arr.tolist()]
+    else:
+        raise MalformedPayloadError(
+            f"{name} must be an integer array, got dtype {arr.dtype}"
+        )
+    for value in items:
+        if not minimum <= value <= maximum:
+            raise MalformedPayloadError(
+                f"{name} cell value {value} outside [{minimum}, {maximum}]"
+            )
+    return items
 
 #: Conservative cells-per-difference ratio; q=3 peeling succeeds w.h.p.
 #: below load ~0.81, so 2x headroom keeps the failure probability tiny
@@ -444,22 +490,33 @@ class IBLT:
     def load_arrays(
         self, counts: np.ndarray, key_xor: np.ndarray, check_xor: np.ndarray
     ) -> "IBLT":
-        """Load a :meth:`to_arrays` snapshot into this (empty) table."""
+        """Load a :meth:`to_arrays` snapshot into this (empty) table.
+
+        The snapshot is untrusted input (it may have crossed a wire or a
+        cache): shapes, dtypes and value ranges are validated, and any
+        inconsistency raises :class:`~repro.errors.MalformedPayloadError`
+        rather than silently truncating floats or wrapping out-of-range
+        cells into a table that misdecodes later.
+        """
         if not self.is_empty():
             raise ValueError("table must be empty before loading cell arrays")
-        counts = np.asarray(counts, dtype=np.int64)
-        key_xor = np.asarray(key_xor, dtype=np.uint64)
-        check_xor = np.asarray(check_xor, dtype=np.uint64)
-        if counts.shape != (self.m,) or key_xor.shape != (self.m,) or check_xor.shape != (self.m,):
-            raise ValueError(f"cell arrays must all have shape ({self.m},)")
+        count_list = validate_cell_ints(
+            counts, "counts", self.m, -(1 << 63), (1 << 63) - 1
+        )
+        key_list = validate_cell_ints(
+            key_xor, "key_xor", self.m, 0, (1 << self.key_bits) - 1
+        )
+        check_list = validate_cell_ints(
+            check_xor, "check_xor", self.m, 0, (1 << 61) - 1
+        )
         if self.backend == "numpy":
-            self.counts = counts.copy()
-            self.key_xor = key_xor.copy()
-            self.check_xor = check_xor.copy()
+            self.counts = np.array(count_list, dtype=np.int64)
+            self.key_xor = np.array(key_list, dtype=np.uint64)
+            self.check_xor = np.array(check_list, dtype=np.uint64)
         else:
-            self.counts = [int(v) for v in counts]
-            self.key_xor = [int(v) for v in key_xor]
-            self.check_xor = [int(v) for v in check_xor]
+            self.counts = count_list
+            self.key_xor = key_list
+            self.check_xor = check_list
         return self
 
     # -- decoding ------------------------------------------------------------

@@ -36,12 +36,19 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..errors import MalformedPayloadError
 from ..hashing import Checksum, PairwiseHash, PublicCoins
 from ..metric.spaces import Point
 from .frontier import KeyHashCache, PeelQueue, divisible_key, seed_sum_cell_queue
-from .iblt import partitioned_cell_indices
+from .iblt import partitioned_cell_indices, validate_cell_ints
 
 __all__ = ["RIBLT", "RIBLTDecodeResult", "riblt_cells_for_pairs"]
+
+#: Bound on untrusted cell sums accepted by :meth:`RIBLT.load_arrays`.
+#: RIBLT sums are unbounded Python ints in memory, but nothing larger
+#: than the serializer's varint cap (133 payload bits) can legitimately
+#: cross a wire, so snapshots beyond it are rejected as malformed.
+_SUM_LIMIT = (1 << 133) - 1
 
 
 def riblt_cells_for_pairs(pairs: int, q: int = 3) -> int:
@@ -343,6 +350,71 @@ class RIBLT:
         clone.check_sum = list(self.check_sum)
         clone.value_sum = [list(cell) for cell in self.value_sum]
         return clone
+
+    # -- array snapshots -----------------------------------------------------
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cell state as ``(counts, key_sum, check_sum, value_sum)`` arrays.
+
+        ``counts`` is ``int64``; the sums are ``object``-dtype arrays
+        (``value_sum`` of shape ``(m, dim)``) because RIBLT cell sums are
+        unbounded Python ints.  Always fresh arrays — the interchange
+        format for persistence and transport, mirroring
+        :meth:`IBLT.to_arrays`.
+        """
+        value_sum = np.empty((self.m, self.dim), dtype=object)
+        for index in range(self.m):
+            for coordinate in range(self.dim):
+                value_sum[index, coordinate] = self.value_sum[index][coordinate]
+        return (
+            np.array(self.counts, dtype=np.int64),
+            np.array(self.key_sum, dtype=object),
+            np.array(self.check_sum, dtype=object),
+            value_sum,
+        )
+
+    def load_arrays(
+        self,
+        counts: np.ndarray,
+        key_sum: np.ndarray,
+        check_sum: np.ndarray,
+        value_sum: np.ndarray,
+    ) -> "RIBLT":
+        """Load a :meth:`to_arrays` snapshot into this (empty) table.
+
+        The snapshot is untrusted: shapes, dtypes and value magnitudes
+        are validated and inconsistencies raise
+        :class:`~repro.errors.MalformedPayloadError` instead of building
+        a table that silently misdecodes later.
+        """
+        if not self.is_empty():
+            raise ValueError("table must be empty before loading cell arrays")
+        count_list = validate_cell_ints(
+            counts, "counts", self.m, -(1 << 63), (1 << 63) - 1
+        )
+        key_list = validate_cell_ints(key_sum, "key_sum", self.m, -_SUM_LIMIT, _SUM_LIMIT)
+        check_list = validate_cell_ints(
+            check_sum, "check_sum", self.m, -_SUM_LIMIT, _SUM_LIMIT
+        )
+        values = (
+            value_sum
+            if isinstance(value_sum, np.ndarray)
+            else np.asarray(list(value_sum), dtype=object)
+        )
+        if values.shape != (self.m, self.dim):
+            raise MalformedPayloadError(
+                f"value_sum must have shape ({self.m}, {self.dim}), got {values.shape}"
+            )
+        value_list = validate_cell_ints(
+            values.ravel(), "value_sum", self.m * self.dim, -_SUM_LIMIT, _SUM_LIMIT
+        )
+        self.counts = count_list
+        self.key_sum = key_list
+        self.check_sum = check_list
+        self.value_sum = [
+            value_list[index * self.dim : (index + 1) * self.dim]
+            for index in range(self.m)
+        ]
+        return self
 
     # -- purity --------------------------------------------------------------
     def _pure_key(self, index: int, cache: KeyHashCache | None = None) -> int | None:

@@ -1,6 +1,7 @@
 """Two-party protocol harness: channel, serialization, table wire formats."""
 
 from .channel import ALICE, BOB, Channel, Message, TranscriptSummary
+from .faults import FaultEvent, FaultSpec, FaultSummary, FaultyChannel
 from .serialize import (
     VARUINT_MAX_GROUPS,
     BitReader,
@@ -29,6 +30,10 @@ __all__ = [
     "Channel",
     "Message",
     "TranscriptSummary",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultSummary",
+    "FaultyChannel",
     "VARUINT_MAX_GROUPS",
     "BitReader",
     "BitWriter",

@@ -13,6 +13,7 @@ from Alice to Bob (or vice versa).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["Message", "Channel", "TranscriptSummary"]
 
@@ -48,6 +49,25 @@ class TranscriptSummary:
     def total_bytes(self) -> float:
         return self.total_bits / 8.0
 
+    @classmethod
+    def merge(cls, summaries: Iterable["TranscriptSummary"]) -> "TranscriptSummary":
+        """Combine summaries of several attempts into one aggregate.
+
+        Multi-attempt runs (the resilient reconciliation controller's
+        retries) summarise each attempt separately; the merged summary is
+        what the whole run cost on the wire — bits and rounds add, and
+        the per-label/per-sender breakdowns accumulate key-wise.
+        """
+        merged = cls(total_bits=0, rounds=0)
+        for summary in summaries:
+            merged.total_bits += summary.total_bits
+            merged.rounds += summary.rounds
+            for label, bits in summary.by_label.items():
+                merged.by_label[label] = merged.by_label.get(label, 0) + bits
+            for sender, bits in summary.by_sender.items():
+                merged.by_sender[sender] = merged.by_sender.get(sender, 0) + bits
+        return merged
+
 
 class Channel:
     """Records messages between Alice and Bob.
@@ -63,9 +83,15 @@ class Channel:
 
     def send(self, sender: str, label: str, payload: bytes, payload_bits: int | None = None) -> bytes:
         """Transmit ``payload``; returns it for the receiver to parse."""
+        if not sender:
+            raise ValueError("sender must be non-empty ('alice' or 'bob')")
         if sender not in (ALICE, BOB):
             raise ValueError(f"sender must be 'alice' or 'bob', got {sender!r}")
+        if not label:
+            raise ValueError("message label must be a non-empty string")
         bits = 8 * len(payload) if payload_bits is None else int(payload_bits)
+        if bits < 0:
+            raise ValueError(f"declared payload_bits must be >= 0, got {bits}")
         if bits > 8 * len(payload):
             raise ValueError(
                 f"declared {bits} bits exceeds payload of {8 * len(payload)} bits"

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ..errors import MalformedPayloadError, TruncatedPayloadError
 from ..metric.spaces import MetricSpace, Point
 
 __all__ = [
@@ -116,7 +117,7 @@ class BitReader:
 
     def read_bit(self) -> int:
         if self._position >= 8 * len(self._data):
-            raise EOFError("bit stream exhausted")
+            raise TruncatedPayloadError("bit stream exhausted")
         byte_index, bit_index = divmod(self._position, 8)
         self._position += 1
         return (self._data[byte_index] >> bit_index) & 1
@@ -135,8 +136,10 @@ class BitReader:
 
         A stream still asking for continuation after
         :data:`VARUINT_MAX_GROUPS` groups cannot have come from
-        :meth:`BitWriter.write_varuint` and raises ``ValueError``;
-        running out of bits mid-value raises ``EOFError``.
+        :meth:`BitWriter.write_varuint` and raises
+        :class:`~repro.errors.MalformedPayloadError` (a ``ValueError``);
+        running out of bits mid-value raises
+        :class:`~repro.errors.TruncatedPayloadError` (an ``EOFError``).
         """
         value = 0
         shift = 0
@@ -146,7 +149,7 @@ class BitReader:
             shift += 7
             if not more:
                 return value
-        raise ValueError(
+        raise MalformedPayloadError(
             f"malformed varuint: more than {VARUINT_MAX_GROUPS} continuation "
             "groups"
         )
@@ -187,4 +190,10 @@ def write_points(writer: BitWriter, space: MetricSpace, points: Sequence[Point])
 
 def read_points(reader: BitReader, space: MetricSpace) -> list[Point]:
     count = reader.read_varuint()
+    needed = count * space.dim * coordinate_bits(space)
+    if needed > reader.bits_remaining:
+        raise MalformedPayloadError(
+            f"declared point count {count} needs {needed} bits, "
+            f"only {reader.bits_remaining} remain"
+        )
     return [read_point(reader, space) for _ in range(count)]

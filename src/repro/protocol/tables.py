@@ -18,6 +18,7 @@ Cell encodings (all via :class:`~repro.protocol.serialize.BitWriter`):
 
 from __future__ import annotations
 
+from ..errors import MalformedPayloadError
 from ..iblt.counting import MultisetIBLT
 from ..iblt.iblt import IBLT
 from ..iblt.riblt import RIBLT
@@ -37,6 +38,20 @@ __all__ = [
 
 _CHECK_BITS = 61
 
+#: Cell counts must fit a signed 64-bit integer: the numpy backend stores
+#: them in ``int64`` arrays, and no honest table ever exceeds it (counts
+#: are bounded by the number of inserted keys).  The varint cap alone
+#: allows up to 132-bit magnitudes, so corrupted streams must be rejected
+#: here rather than overflow on assignment.
+_COUNT_LIMIT = 1 << 63
+
+
+def _read_cell_count(reader: BitReader) -> int:
+    count = reader.read_varint()
+    if not -_COUNT_LIMIT <= count < _COUNT_LIMIT:
+        raise MalformedPayloadError(f"cell count {count} does not fit int64")
+    return count
+
 
 def write_iblt_cells(writer: BitWriter, table: IBLT) -> None:
     """Serialize every cell of an IBLT."""
@@ -51,7 +66,7 @@ def read_iblt_cells(reader: BitReader, shell: IBLT) -> IBLT:
     if not shell.is_empty():
         raise ValueError("shell IBLT must be empty before loading cells")
     for index in range(shell.m):
-        shell.counts[index] = reader.read_varint()
+        shell.counts[index] = _read_cell_count(reader)
         shell.key_xor[index] = reader.read_uint(shell.key_bits)
         shell.check_xor[index] = reader.read_uint(_CHECK_BITS)
     return shell
@@ -79,7 +94,7 @@ def read_riblt_cells(reader: BitReader, shell: RIBLT) -> RIBLT:
     if not shell.is_empty():
         raise ValueError("shell RIBLT must be empty before loading cells")
     for index in range(shell.m):
-        shell.counts[index] = reader.read_varint()
+        shell.counts[index] = _read_cell_count(reader)
         shell.key_sum[index] = reader.read_varint()
         shell.check_sum[index] = reader.read_varint()
         shell.value_sum[index] = [
@@ -108,7 +123,7 @@ def read_multiset_cells(reader: BitReader, shell: MultisetIBLT) -> MultisetIBLT:
     if not shell.is_empty():
         raise ValueError("shell MultisetIBLT must be empty before loading cells")
     for index in range(shell.m):
-        shell.counts[index] = reader.read_varint()
+        shell.counts[index] = _read_cell_count(reader)
         shell.key_sum[index] = reader.read_varint()
         shell.check_sum[index] = reader.read_varint()
     return shell

@@ -8,11 +8,23 @@ from .exact_iblt import (
     exact_iblt_reconcile_auto,
 )
 from .cpi import CPIResult, cpi_reconcile, evaluate_characteristic
+from .resilient import (
+    AttemptRecord,
+    RecoveryReport,
+    ResilienceConfig,
+    ResilientReconcileResult,
+    resilient_reconcile,
+)
 from .strata import StrataEstimator, read_strata, strata_payload
 from .naive import NaiveTransferResult, naive_full_transfer, naive_union_transfer
 from .quadtree import QuadtreeEMDProtocol, QuadtreeResult
 
 __all__ = [
+    "AttemptRecord",
+    "RecoveryReport",
+    "ResilienceConfig",
+    "ResilientReconcileResult",
+    "resilient_reconcile",
     "ExactReconcileResult",
     "decode_point",
     "encode_point",

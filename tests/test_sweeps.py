@@ -226,13 +226,14 @@ class TestReport:
 
 
 class TestBuiltinCampaigns:
-    def test_all_five_exist(self):
+    def test_all_six_exist(self):
         campaigns = builtin_campaigns()
         assert set(campaigns) == {
             "iblt-threshold",
             "gap-ratio",
             "emd-levels",
             "emd-branching",
+            "fault-rate",
             "multiparty-parties",
         }
         for name, campaign in campaigns.items():
