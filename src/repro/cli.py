@@ -14,6 +14,11 @@ Commands
 ``sweep``      A parameter-sweep campaign: many seeded trials per grid
                point, optionally on a process pool, aggregated into a
                ``repro.sweeps/v1`` curve report.
+``serve``      The asyncio reconciliation server (Bob as a service) on a
+               TCP port, speaking the framed wire protocol.
+``client``     Run N concurrent reconciliation sessions against a
+               server, optionally over a seeded simulated lossy link,
+               and emit a canonical ``repro.recon-service/v1`` report.
 
 Examples
 --------
@@ -25,11 +30,15 @@ Examples
     python -m repro.cli exact --method cpi --n 100 --delta 8
     python -m repro.cli scenarios --seed 7 --backend numpy --output out.json
     python -m repro.cli sweep --campaign iblt-threshold --seed 7 --jobs 2
+    python -m repro.cli serve --port 8377
+    python -m repro.cli client --port 8377 --sessions 8 --seed 7 \\
+        --loss-rate 0.1 --duplicate-rate 0.05
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -289,6 +298,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ReconcileServer
+
+    async def run() -> None:
+        server = ReconcileServer()
+        tcp_server = await server.serve_tcp(args.host, args.port)
+        bound = tcp_server.sockets[0].getsockname()
+        # Readiness line on stderr: CI's server-smoke gate waits for it.
+        print(f"recon-service listening on {bound[0]}:{bound[1]}",
+              file=sys.stderr, flush=True)
+        async with tcp_server:
+            await tcp_server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .hashing import derive_seed
+    from .server import (
+        FrameConnection,
+        NetworkConfig,
+        ReconcileClient,
+        SessionConfig,
+        SimulatedNetwork,
+        render_session_reports,
+    )
+
+    configs = [
+        SessionConfig(
+            session_id=session_id,
+            seed=args.seed,
+            protocol=args.protocol,
+            dim=args.dim,
+            n_shared=args.n,
+            delta=args.delta,
+            delta_bound=args.delta_bound,
+            max_attempts=args.max_attempts,
+            max_escalations=args.max_escalations,
+        )
+        for session_id in range(1, args.sessions + 1)
+    ]
+    network = SimulatedNetwork(
+        NetworkConfig(
+            seed=derive_seed(args.seed, "recon-service-cli"),
+            loss_rate=args.loss_rate,
+            corrupt_rate=args.corrupt_rate,
+            duplicate_rate=args.duplicate_rate,
+            base_latency_ms=args.base_latency_ms,
+            jitter_ms=args.jitter_ms,
+        )
+    )
+
+    async def run():
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        client = ReconcileClient(
+            FrameConnection(reader, writer), network=network, timeout=args.timeout
+        )
+        client.start()
+        try:
+            return await client.run_sessions(configs)
+        finally:
+            await client.aclose()
+
+    reports = asyncio.run(run())
+    for report in sorted(reports, key=lambda r: r.session_id):
+        status = "ok" if (report.success and report.union_ok) else "FAIL"
+        print(
+            f"  session {report.session_id:3d} {status:4s} "
+            f"attempts={report.attempts} rerequests={report.rerequests} "
+            f"bits={report.transcript_bits} wire={report.wire.wire_bytes}B",
+            file=sys.stderr,
+        )
+    document = render_session_reports(reports, seed=args.seed)
+    if args.output is not None:
+        args.output.write_text(document)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(document)
+    return 0 if all(r.success and r.union_ok for r in reports) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -370,6 +464,43 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write one sweep-<campaign>.json per campaign "
                                    "into this directory")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the reconciliation server (Bob as a service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8377)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    client_parser = sub.add_parser(
+        "client", help="reconcile N sessions against a running server"
+    )
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, default=8377)
+    client_parser.add_argument("--sessions", type=int, default=4,
+                               help="concurrent sessions on one connection")
+    client_parser.add_argument("--seed", type=int, default=0)
+    client_parser.add_argument("--protocol", choices=("exact", "resilient"),
+                               default="resilient")
+    client_parser.add_argument("--dim", type=int, default=48)
+    client_parser.add_argument("--n", type=int, default=96,
+                               help="shared points per session")
+    client_parser.add_argument("--delta", type=int, default=12,
+                               help="true symmetric difference per session")
+    client_parser.add_argument("--delta-bound", type=int, default=8,
+                               help="Alice's initial difference bound")
+    client_parser.add_argument("--max-attempts", type=int, default=10)
+    client_parser.add_argument("--max-escalations", type=int, default=2)
+    client_parser.add_argument("--loss-rate", type=float, default=0.0)
+    client_parser.add_argument("--corrupt-rate", type=float, default=0.0)
+    client_parser.add_argument("--duplicate-rate", type=float, default=0.0)
+    client_parser.add_argument("--base-latency-ms", type=float, default=0.2)
+    client_parser.add_argument("--jitter-ms", type=float, default=0.0)
+    client_parser.add_argument("--timeout", type=float, default=30.0,
+                               help="per-receive timeout in seconds")
+    client_parser.add_argument("--output", type=Path, default=None,
+                               help="write the JSON report here instead of stdout")
+    client_parser.set_defaults(handler=_cmd_client)
     return parser
 
 

@@ -20,6 +20,7 @@ runner, *outside* the metrics dict.
 
 from __future__ import annotations
 
+import asyncio
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
@@ -34,16 +35,15 @@ from ..core import (
     verify_gap_guarantee,
 )
 from ..core.multiparty import multi_party_gap, verify_multi_party_guarantee
-from ..hashing import PublicCoins
+from ..hashing import PublicCoins, derive_seed
 from ..iblt import IBLT
 from ..lsh import BitSamplingMLSH
 from ..metric import GridSpace, HammingSpace, MetricSpace, emd
 from ..protocol import Channel, FaultSpec, FaultyChannel
-from ..protocol.tables import iblt_payload
-from ..reconcile import exact_iblt_reconcile
+from ..reconcile import exact_iblt_reconcile, outcome_metrics
 from ..reconcile.exact_iblt import exact_iblt_reconcile_auto
 from ..reconcile.resilient import ResilienceConfig, resilient_reconcile
-from ..reconcile.strata import StrataEstimator, strata_payload
+from ..reconcile.strata import StrataEstimator
 from ..setsofsets import SetsOfSetsReconciler
 from ..workloads import noisy_replica_pair, perturb_point, random_far_point
 
@@ -301,7 +301,7 @@ def _drive_strata(
     bob_sketch = StrataEstimator(coins, "scenario-strata", key_bits=55)
     alice_sketch.insert_batch(alice)
     bob_sketch.insert_batch(bob)
-    _, sketch_bits = strata_payload(alice_sketch)
+    _, sketch_bits = alice_sketch.to_payload()
     estimate = alice_sketch.subtract(bob_sketch).estimate()
     true_difference = 2 * differences
     return {
@@ -329,14 +329,7 @@ def _drive_exact_iblt(
     # unlike exact-auto, this driver has no estimate/retry loop to absorb
     # an unlucky seed.
     result = exact_iblt_reconcile(space, alice, bob, 4 * delta, coins)
-    return {
-        "success": bool(result.success),
-        "rounds": result.rounds,
-        "bits": result.total_bits,
-        "alice_only": len(result.alice_only),
-        "bob_only": len(result.bob_only),
-        "union_reached": bool(set(result.bob_final) == set(alice) | set(bob)),
-    }
+    return outcome_metrics(result, alice, bob)
 
 
 def _drive_exact_auto(
@@ -350,14 +343,7 @@ def _drive_exact_auto(
     alice = shared + space.sample(rng, delta // 2)
     bob = shared + space.sample(rng, delta - delta // 2)
     result = exact_iblt_reconcile_auto(space, alice, bob, coins)
-    return {
-        "success": bool(result.success),
-        "rounds": result.rounds,
-        "bits": result.total_bits,
-        "alice_only": len(result.alice_only),
-        "bob_only": len(result.bob_only),
-        "union_reached": bool(set(result.bob_final) == set(alice) | set(bob)),
-    }
+    return outcome_metrics(result, alice, bob)
 
 
 def _drive_iblt_load(
@@ -381,7 +367,7 @@ def _drive_iblt_load(
     table_b = IBLT(coins, "scenario-iblt-load", cells=p["cells"], q=q, key_bits=55)
     table_a.insert_batch(alice)
     table_b.insert_batch(bob)
-    _, table_bits = iblt_payload(table_b)
+    _, table_bits = table_b.to_payload()
     decoded = table_b.subtract(table_a).decode()
     true_differences = 2 * differences
     return {
@@ -438,17 +424,16 @@ def _drive_resilient(
         config=config,
     )
     report = result.report
-    metrics = {
-        "success": bool(result.success),
-        "rounds": result.rounds,
-        "bits": result.total_bits,
-        "attempts": len(report.attempts),
-        "escalations": report.escalations,
-        "rerequests": report.rerequests,
-        "breaker_tripped": bool(report.breaker_tripped),
-        "recovery_bits": report.recovery_bits,
-        "union_reached": bool(set(result.bob_final) == set(alice) | set(bob)),
-    }
+    metrics = outcome_metrics(result, alice, bob)
+    metrics.update(
+        {
+            "attempts": len(report.attempts),
+            "escalations": report.escalations,
+            "rerequests": report.rerequests,
+            "breaker_tripped": bool(report.breaker_tripped),
+            "recovery_bits": report.recovery_bits,
+        }
+    )
     if report.faults:
         metrics["fault_events"] = report.faults["faulted"]
         metrics["faults_dropped"] = report.faults["dropped"]
@@ -457,6 +442,101 @@ def _drive_resilient(
         metrics["faults_duplicated"] = report.faults["duplicated"]
         metrics["fault_bits_lost"] = report.faults["bits_lost"]
     return metrics
+
+
+def _drive_recon_service(
+    spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
+) -> dict:
+    """The full reconciliation service over a seeded simulated network.
+
+    Boots the asyncio :class:`~repro.server.server.ReconcileServer` and a
+    :class:`~repro.server.client.ReconcileClient` on an in-memory framed
+    transport, multiplexes ``sessions`` concurrent reconciliations over
+    one connection, and damages traffic with a
+    :class:`~repro.server.network.SimulatedNetwork` whose fault/latency
+    streams are keyed only on ``(session, direction, seq)`` — so the
+    metrics are byte-deterministic regardless of asyncio scheduling.
+    ``success`` requires every session to reconcile *and* the server to
+    verify each union against its derived ground truth.  Wire bytes are
+    *measured* off the transport (duplicates included) with framing
+    overhead itemised apart from payload bytes.
+    """
+    from ..server import (
+        NetworkConfig,
+        ReconcileClient,
+        ReconcileServer,
+        SessionConfig,
+        SimulatedNetwork,
+        memory_pipe,
+    )
+
+    p = spec.params
+    configs = [
+        SessionConfig(
+            session_id=session_id,
+            seed=spec.seed,
+            protocol=p.get("protocol", "resilient"),
+            dim=p["dim"],
+            n_shared=p["n"],
+            delta=p["delta"],
+            delta_bound=p["delta_bound"],
+            q=p.get("q", 3),
+            max_attempts=p.get("max_attempts", 8),
+            max_escalations=p.get("max_escalations", 2),
+        )
+        for session_id in range(1, p["sessions"] + 1)
+    ]
+    network = SimulatedNetwork(
+        NetworkConfig(
+            seed=derive_seed(spec.seed, "recon-service", spec.name),
+            loss_rate=p.get("loss_rate", 0.0),
+            corrupt_rate=p.get("corrupt_rate", 0.0),
+            duplicate_rate=p.get("duplicate_rate", 0.0),
+            base_latency_ms=p.get("base_latency_ms", 0.2),
+            jitter_ms=p.get("jitter_ms", 0.0),
+        )
+    )
+
+    async def run():
+        client_conn, server_conn = memory_pipe()
+        server = ReconcileServer()
+        server_task = asyncio.ensure_future(server.serve_connection(server_conn))
+        client = ReconcileClient(client_conn, network=network, timeout=30.0)
+        client.start()
+        try:
+            return await client.run_sessions(configs)
+        finally:
+            await client.aclose()
+            server_task.cancel()
+            try:
+                await server_task
+            except asyncio.CancelledError:
+                pass
+
+    reports = sorted(asyncio.run(run()), key=lambda report: report.session_id)
+    transcript_bits = sum(r.transcript_bits for r in reports)
+    wire_bytes = sum(r.wire.wire_bytes for r in reports)
+    payload_bytes = sum(r.wire.payload_bytes for r in reports)
+    return {
+        "success": bool(all(r.success and r.union_ok for r in reports)),
+        "rounds": sum(r.transcript_rounds for r in reports),
+        "bits": transcript_bits,
+        "sessions": len(reports),
+        "sessions_reconciled": sum(1 for r in reports if r.success and r.union_ok),
+        "attempts": sum(r.attempts for r in reports),
+        "escalations": sum(r.escalations for r in reports),
+        "rerequests": sum(r.rerequests for r in reports),
+        "breakers_tripped": sum(1 for r in reports if r.breaker_tripped),
+        "wire_bytes": wire_bytes,
+        "payload_bytes": payload_bytes,
+        "framing_bytes": wire_bytes - payload_bytes,
+        "frames_lost": sum(r.wire.frames_lost for r in reports),
+        "frames_corrupted": sum(r.wire.frames_corrupted for r in reports),
+        "frames_duplicated": sum(r.wire.frames_duplicated for r in reports),
+        "sim_latency_ms": _round6(sum(r.wire.sim_latency_ms for r in reports)),
+        # The physical wire must carry at least the analytical transcript.
+        "wire_covers_transcript": bool(8 * wire_bytes >= transcript_bits),
+    }
 
 
 def _drive_multiparty(
@@ -509,6 +589,7 @@ DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], di
     "iblt-load": _drive_iblt_load,
     "multiparty": _drive_multiparty,
     "resilient-recon": _drive_resilient,
+    "recon-service": _drive_recon_service,
 }
 
 
@@ -605,5 +686,21 @@ def builtin_scenarios(seed: int = 0) -> list[ScenarioSpec]:
             {"dim": 40, "n": 64, "delta": 12, "delta_bound": 1,
              "max_escalations": 1, "max_attempts": 10,
              "drop_rate": 0.25, "truncate_rate": 0.25, "duplicate_rate": 0.1},
+        ),
+        # The whole service stack: asyncio server + multiplexed client
+        # sessions over an in-memory framed transport, with seeded
+        # loss/corruption/duplication on the link.  delta_bound 4 against
+        # ~12 true differences forces escalations (and, on unlucky
+        # sessions, the strata fallback) to happen *over the wire*; the
+        # gate is that every session still reconciles and the measured
+        # wire bytes cover the analytical transcript.
+        ScenarioSpec(
+            "recon-service-network",
+            "recon-service",
+            seed,
+            {"sessions": 6, "dim": 48, "n": 96, "delta": 12, "delta_bound": 4,
+             "max_escalations": 1, "max_attempts": 10,
+             "loss_rate": 0.15, "corrupt_rate": 0.1, "duplicate_rate": 0.1,
+             "jitter_ms": 0.4},
         ),
     ]

@@ -246,6 +246,27 @@ class MultisetIBLT:
                 return False
         return True
 
+    def to_payload(self) -> tuple[bytes, int]:
+        """Serialize this sketch; returns ``(payload, exact_bit_count)``.
+
+        Part of the uniform sketch wire surface shared with
+        :meth:`IBLT.to_payload <repro.iblt.iblt.IBLT.to_payload>`.
+        """
+        from ..protocol.tables import multiset_payload
+
+        return multiset_payload(self)
+
+    def from_payload(self, payload: bytes) -> "MultisetIBLT":
+        """Load a :meth:`to_payload` buffer into this (empty) shell.
+
+        The payload is untrusted; damage raises the typed
+        :class:`~repro.errors.DecodeError` hierarchy.
+        """
+        from ..protocol.serialize import BitReader
+        from ..protocol.tables import read_multiset_cells
+
+        return read_multiset_cells(BitReader(payload), self)
+
     def _pure_key(self, index: int, cache: KeyHashCache | None = None) -> int | None:
         key = divisible_key(self.counts[index], self.key_sum[index], 1 << self.key_bits)
         if key is None:

@@ -519,6 +519,31 @@ class IBLT:
             self.check_xor = check_list
         return self
 
+    def to_payload(self) -> tuple[bytes, int]:
+        """Serialize this sketch; returns ``(payload, exact_bit_count)``.
+
+        The uniform sketch wire surface: every sketch type
+        (:class:`IBLT`, :class:`~repro.iblt.riblt.RIBLT`,
+        :class:`~repro.iblt.counting.MultisetIBLT`,
+        :class:`~repro.reconcile.strata.StrataEstimator`) exposes the
+        same ``to_payload``/:meth:`from_payload` pair, so the wire layer
+        and snapshot stores can treat them interchangeably.
+        """
+        from ..protocol.tables import iblt_payload
+
+        return iblt_payload(self)
+
+    def from_payload(self, payload: bytes) -> "IBLT":
+        """Load a :meth:`to_payload` buffer into this (empty) shell.
+
+        The payload is untrusted; damage raises the typed
+        :class:`~repro.errors.DecodeError` hierarchy.
+        """
+        from ..protocol.serialize import BitReader
+        from ..protocol.tables import read_iblt_cells
+
+        return read_iblt_cells(BitReader(payload), self)
+
     # -- decoding ------------------------------------------------------------
     def _is_pure(self, index: int) -> bool:
         count = self.counts[index]

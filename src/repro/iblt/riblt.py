@@ -416,6 +416,27 @@ class RIBLT:
         ]
         return self
 
+    def to_payload(self) -> tuple[bytes, int]:
+        """Serialize this sketch; returns ``(payload, exact_bit_count)``.
+
+        Part of the uniform sketch wire surface shared with
+        :meth:`IBLT.to_payload <repro.iblt.iblt.IBLT.to_payload>`.
+        """
+        from ..protocol.tables import riblt_payload
+
+        return riblt_payload(self)
+
+    def from_payload(self, payload: bytes) -> "RIBLT":
+        """Load a :meth:`to_payload` buffer into this (empty) shell.
+
+        The payload is untrusted; damage raises the typed
+        :class:`~repro.errors.DecodeError` hierarchy.
+        """
+        from ..protocol.serialize import BitReader
+        from ..protocol.tables import read_riblt_cells
+
+        return read_riblt_cells(BitReader(payload), self)
+
     # -- purity --------------------------------------------------------------
     def _pure_key(self, index: int, cache: KeyHashCache | None = None) -> int | None:
         """Return the key if cell ``index`` passes the multi-copy purity test.

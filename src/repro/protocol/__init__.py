@@ -1,6 +1,6 @@
 """Two-party protocol harness: channel, serialization, table wire formats."""
 
-from .channel import ALICE, BOB, Channel, Message, TranscriptSummary
+from .channel import ALICE, BOB, BaseChannel, Channel, Message, TranscriptSummary
 from .faults import FaultEvent, FaultSpec, FaultSummary, FaultyChannel
 from .serialize import (
     VARUINT_MAX_GROUPS,
@@ -27,6 +27,7 @@ from .tables import (
 __all__ = [
     "ALICE",
     "BOB",
+    "BaseChannel",
     "Channel",
     "Message",
     "TranscriptSummary",

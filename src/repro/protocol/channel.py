@@ -12,10 +12,11 @@ from Alice to Bob (or vice versa).
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["Message", "Channel", "TranscriptSummary"]
+__all__ = ["Message", "BaseChannel", "Channel", "TranscriptSummary"]
 
 ALICE = "alice"
 BOB = "bob"
@@ -69,20 +70,33 @@ class TranscriptSummary:
         return merged
 
 
-class Channel:
-    """Records messages between Alice and Bob.
+class BaseChannel(abc.ABC):
+    """The measurement contract every transport implements.
 
-    ``send`` returns the payload so caller code naturally reads like a
-    protocol: the receiving party parses exactly the bytes that were
-    "sent".  ``payload_bits`` lets bit-packed messages report their exact
-    bit count (the final byte of a :class:`BitWriter` buffer is padded).
+    Three transports speak it: the in-process :class:`Channel`, the
+    fault-injecting :class:`~repro.protocol.faults.FaultyChannel`
+    wrapper, and the wire-backed
+    :class:`~repro.server.transport.AsyncChannel`.  Send-time validation
+    (:meth:`validate_send`) and the transcript accessors live here, so
+    every transport accounts for communication identically; subclasses
+    only decide how a validated message actually moves (``send`` is sync
+    on the in-process transports and a coroutine on the async one, but
+    takes the same arguments and applies the same validation).
+
+    Subclasses must expose the transcript as a ``messages`` sequence —
+    either the inherited list or a delegating property.
     """
 
-    def __init__(self) -> None:
-        self.messages: list[Message] = []
+    messages: "list[Message]"
 
-    def send(self, sender: str, label: str, payload: bytes, payload_bits: int | None = None) -> bytes:
-        """Transmit ``payload``; returns it for the receiver to parse."""
+    def __init__(self) -> None:
+        self.messages = []
+
+    @staticmethod
+    def validate_send(
+        sender: str, label: str, payload: bytes, payload_bits: int | None = None
+    ) -> int:
+        """Validate a send and return the exact declared bit count."""
         if not sender:
             raise ValueError("sender must be non-empty ('alice' or 'bob')")
         if sender not in (ALICE, BOB):
@@ -96,10 +110,11 @@ class Channel:
             raise ValueError(
                 f"declared {bits} bits exceeds payload of {8 * len(payload)} bits"
             )
-        self.messages.append(
-            Message(sender=sender, label=label, payload=payload, payload_bits=bits)
-        )
-        return payload
+        return bits
+
+    @abc.abstractmethod
+    def send(self, sender: str, label: str, payload: bytes, payload_bits: int | None = None):
+        """Transmit ``payload`` (sync transports return the delivery)."""
 
     @property
     def total_bits(self) -> int:
@@ -122,3 +137,21 @@ class Channel:
             by_label=by_label,
             by_sender=by_sender,
         )
+
+
+class Channel(BaseChannel):
+    """Records messages between Alice and Bob (in-process transport).
+
+    ``send`` returns the payload so caller code naturally reads like a
+    protocol: the receiving party parses exactly the bytes that were
+    "sent".  ``payload_bits`` lets bit-packed messages report their exact
+    bit count (the final byte of a :class:`BitWriter` buffer is padded).
+    """
+
+    def send(self, sender: str, label: str, payload: bytes, payload_bits: int | None = None) -> bytes:
+        """Transmit ``payload``; returns it for the receiver to parse."""
+        bits = self.validate_send(sender, label, payload, payload_bits)
+        self.messages.append(
+            Message(sender=sender, label=label, payload=payload, payload_bits=bits)
+        )
+        return payload

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hashing import PublicCoins
-from .channel import Channel, Message, TranscriptSummary
+from .channel import BaseChannel, Channel, Message
 
 __all__ = ["FaultSpec", "FaultEvent", "FaultSummary", "FaultyChannel"]
 
@@ -120,16 +120,19 @@ class FaultSummary:
         }
 
 
-class FaultyChannel:
+class FaultyChannel(BaseChannel):
     """A :class:`Channel` wrapper that deterministically injects faults.
 
-    Drop-in for ``Channel`` anywhere a protocol takes one: ``send``
+    Drop-in for ``Channel`` anywhere a protocol takes one (both sides of
+    the :class:`~repro.protocol.channel.BaseChannel` contract): ``send``
     returns the (possibly damaged) delivered payload, and the transcript
     accessors delegate to the wrapped channel, so communication
     accounting is unchanged by wrapping.
     """
 
     def __init__(self, inner: Channel, spec: FaultSpec, coins: PublicCoins):
+        # No super().__init__(): the transcript lives on the wrapped
+        # channel and ``messages`` delegates to it.
         self.inner = inner
         self.spec = spec
         self.coins = coins.child("faulty-channel")
@@ -138,19 +141,8 @@ class FaultyChannel:
 
     # -- transcript delegation ---------------------------------------------
     @property
-    def messages(self) -> list[Message]:
+    def messages(self) -> list[Message]:  # type: ignore[override]
         return self.inner.messages
-
-    @property
-    def total_bits(self) -> int:
-        return self.inner.total_bits
-
-    @property
-    def rounds(self) -> int:
-        return self.inner.rounds
-
-    def summary(self) -> TranscriptSummary:
-        return self.inner.summary()
 
     def fault_summary(self) -> FaultSummary:
         summary = FaultSummary(messages=self._send_index, faulted=len(self.events))

@@ -8,6 +8,7 @@ from .exact_iblt import (
     exact_iblt_reconcile_auto,
 )
 from .cpi import CPIResult, cpi_reconcile, evaluate_characteristic
+from .outcome import ReconcileOutcome, outcome_metrics
 from .resilient import (
     AttemptRecord,
     RecoveryReport,
@@ -26,6 +27,8 @@ __all__ = [
     "ResilientReconcileResult",
     "resilient_reconcile",
     "ExactReconcileResult",
+    "ReconcileOutcome",
+    "outcome_metrics",
     "decode_point",
     "encode_point",
     "exact_iblt_reconcile",

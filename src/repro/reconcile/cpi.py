@@ -35,6 +35,7 @@ from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import ALICE, BOB, Channel
 from ..protocol.serialize import BitReader, BitWriter, read_points, write_points
 from .exact_iblt import encode_point
+from .outcome import ReconcileOutcome
 
 __all__ = ["cpi_reconcile", "CPIResult", "evaluate_characteristic"]
 
@@ -114,8 +115,10 @@ def _solve_rational(
 
 
 @dataclass(frozen=True)
-class CPIResult:
-    """Outcome of characteristic-polynomial reconciliation."""
+class CPIResult(ReconcileOutcome):
+    """Outcome of characteristic-polynomial reconciliation; implements
+    the shared :class:`~repro.reconcile.outcome.ReconcileOutcome`
+    surface."""
 
     success: bool
     bob_final: list[Point]

@@ -22,7 +22,7 @@ from ..iblt.iblt import IBLT, cells_for_differences
 from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import ALICE, BOB, Channel
 from ..protocol.serialize import BitReader, BitWriter, read_points, write_points
-from ..protocol.tables import iblt_payload, read_iblt_cells
+from .outcome import ReconcileOutcome
 
 __all__ = [
     "encode_point",
@@ -82,8 +82,10 @@ def decode_point(space: MetricSpace, value: int) -> Point:
 
 
 @dataclass(frozen=True)
-class ExactReconcileResult:
-    """Outcome of exact one-way reconciliation."""
+class ExactReconcileResult(ReconcileOutcome):
+    """Outcome of exact one-way reconciliation (also returned by the
+    auto-sized variant); implements the shared
+    :class:`~repro.reconcile.outcome.ReconcileOutcome` surface."""
 
     success: bool
     bob_final: list[Point]
@@ -124,14 +126,13 @@ def exact_iblt_reconcile(
     else:
         for point in bob_points:
             bob_table.insert(encode_point(space, point))
-    payload, bits = iblt_payload(bob_table)
+    payload, bits = bob_table.to_payload()
     sent = channel.send(BOB, "iblt", payload, bits)
 
     # Alice: load, delete her elements, peel.
-    alice_view = read_iblt_cells(
-        BitReader(sent),
-        IBLT(coins, "exact-reconcile", cells=cells, q=q, key_bits=key_bits),
-    )
+    alice_view = IBLT(
+        coins, "exact-reconcile", cells=cells, q=q, key_bits=key_bits
+    ).from_payload(sent)
     if vectorizable:
         alice_view.delete_batch(encode_points(space, alice_points))
     else:
@@ -194,7 +195,7 @@ def exact_iblt_reconcile_auto(
     ``max_attempts`` times — the standard deployment loop of [10].
     Three rounds in the common case; two extra per retry.
     """
-    from .strata import StrataEstimator, read_strata, strata_payload
+    from .strata import StrataEstimator
 
     channel = channel if channel is not None else Channel()
     key_bits = max(1, space.dim * max(1, (space.side - 1).bit_length()))
@@ -208,12 +209,12 @@ def exact_iblt_reconcile_auto(
     else:
         for point in alice_points:
             alice_sketch.insert(encode_point(space, point))
-    payload, bits = strata_payload(alice_sketch)
+    payload, bits = alice_sketch.to_payload()
     sent = channel.send(ALICE, "strata-sketch", payload, bits)
 
     # Bob: load, subtract his sketch, estimate the difference.
     shell = StrataEstimator(coins, "auto-strata", key_bits=key_bits)
-    received = read_strata(sent, shell)
+    received = shell.from_payload(sent)
     bob_sketch = StrataEstimator(coins, "auto-strata", key_bits=key_bits)
     if vectorizable:
         bob_sketch.insert_batch(encode_points(space, bob_points))

@@ -49,7 +49,8 @@ from .exact_iblt import (
     encode_points,
     exact_iblt_reconcile,
 )
-from .strata import StrataEstimator, read_strata, strata_payload
+from .outcome import ReconcileOutcome
+from .strata import StrataEstimator
 
 __all__ = [
     "ResilienceConfig",
@@ -167,8 +168,10 @@ class RecoveryReport:
 
 
 @dataclass(frozen=True)
-class ResilientReconcileResult:
-    """Mirror of :class:`ExactReconcileResult` plus the recovery report."""
+class ResilientReconcileResult(ReconcileOutcome):
+    """Mirror of :class:`ExactReconcileResult` plus the recovery report;
+    implements the shared
+    :class:`~repro.reconcile.outcome.ReconcileOutcome` surface."""
 
     success: bool
     bob_final: list[Point]
@@ -201,11 +204,11 @@ def _strata_estimate(
     else:
         for point in alice_points:
             alice_sketch.insert(encode_point(space, point))
-    payload, bits = strata_payload(alice_sketch)
+    payload, bits = alice_sketch.to_payload()
     sent = channel.send(ALICE, "strata-sketch", payload, bits)
 
     shell = StrataEstimator(coins, "resilient-strata", key_bits=key_bits)
-    received = read_strata(sent, shell)
+    received = shell.from_payload(sent)
     bob_sketch = StrataEstimator(coins, "resilient-strata", key_bits=key_bits)
     if vectorizable:
         bob_sketch.insert_batch(encode_points(space, bob_points))

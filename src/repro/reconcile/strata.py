@@ -165,6 +165,28 @@ class StrataEstimator:
         ]
         return result
 
+    def to_payload(self) -> tuple[bytes, int]:
+        """Serialize all strata; returns ``(payload, exact_bit_count)``.
+
+        Part of the uniform sketch wire surface shared with
+        :meth:`IBLT.to_payload <repro.iblt.iblt.IBLT.to_payload>`: the
+        wire layer and snapshot stores treat every sketch type through
+        the same ``to_payload``/:meth:`from_payload` pair.
+        """
+        writer = BitWriter()
+        for table in self.tables:
+            write_iblt_cells(writer, table)
+        return writer.getvalue(), writer.bit_length
+
+    def from_payload(self, payload: bytes) -> "StrataEstimator":
+        """Load a transmitted payload into this structurally identical
+        (empty) shell; damage raises the typed
+        :class:`~repro.errors.DecodeError` hierarchy."""
+        reader = BitReader(payload)
+        for table in self.tables:
+            read_iblt_cells(reader, table)
+        return self
+
     def estimate(self) -> int:
         """Estimate the difference size of a *subtracted* estimator.
 
@@ -187,16 +209,10 @@ class StrataEstimator:
 
 
 def strata_payload(estimator: StrataEstimator) -> tuple[bytes, int]:
-    """Serialize all strata; returns ``(payload, exact_bit_count)``."""
-    writer = BitWriter()
-    for table in estimator.tables:
-        write_iblt_cells(writer, table)
-    return writer.getvalue(), writer.bit_length
+    """Deprecated alias for :meth:`StrataEstimator.to_payload`."""
+    return estimator.to_payload()
 
 
 def read_strata(payload: bytes, shell: StrataEstimator) -> StrataEstimator:
-    """Load transmitted strata into a structurally identical shell."""
-    reader = BitReader(payload)
-    for table in shell.tables:
-        read_iblt_cells(reader, table)
-    return shell
+    """Deprecated alias for :meth:`StrataEstimator.from_payload`."""
+    return shell.from_payload(payload)

@@ -52,7 +52,6 @@ from ..iblt.counting import MultisetIBLT
 from ..iblt.iblt import cells_for_differences
 from ..protocol.channel import ALICE, BOB, Channel
 from ..protocol.serialize import BitReader, BitWriter
-from ..protocol.tables import multiset_payload, read_multiset_cells
 
 __all__ = ["SetsOfSetsResult", "SetsOfSetsReconciler"]
 
@@ -262,11 +261,11 @@ class SetsOfSetsReconciler:
         else:  # encoded items overflow uint64; use the exact scalar path
             for item, multiplicity in self._items_of(bob_internal).items():
                 bob_table.insert(item, multiplicity)
-        payload, bits = multiset_payload(bob_table)
+        payload, bits = bob_table.to_payload()
         sent = channel.send(BOB, "sos-item-iblt", payload, bits)
 
         # Alice: load, delete her items, peel.
-        alice_view = read_multiset_cells(BitReader(sent), alice_view_shell)
+        alice_view = alice_view_shell.from_payload(sent)
         if self.item_bits <= 64:
             alice_items, alice_mults = self._item_multiset(alice_matrix)
             alice_view.delete_batch(alice_items, alice_mults)

@@ -1,0 +1,517 @@
+"""The reconciliation service end to end: client, server, faulty links.
+
+Everything here runs the *real* client/server stack over an in-memory
+framed pipe (:func:`repro.server.memory_pipe`) — the same code paths the
+``serve``/``client`` CLI exercises over TCP — inside ``asyncio.run``
+with a hard outer timeout, so a protocol bug can fail a test but never
+hang the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.errors import DecodeError, MalformedPayloadError
+from repro.hashing import derive_seed
+from repro.protocol.wire import (
+    HEADER_LEN,
+    Frame,
+    MessageType,
+    decode_body,
+    encode_frame,
+)
+from repro.server import (
+    ConnectionClosedError,
+    NetworkConfig,
+    ReconcileClient,
+    ReconcileServer,
+    SessionConfig,
+    SimulatedNetwork,
+    memory_pipe,
+    render_session_reports,
+)
+from repro.server.network import SessionLink
+from repro.server.session import parse_json_payload
+
+SUITE_TIMEOUT = 60.0
+
+
+def run_service(configs, network=None, timeout=15.0):
+    """Run sessions against a live server over a memory pipe."""
+
+    async def run():
+        client_conn, server_conn = memory_pipe()
+        server = ReconcileServer()
+        server_task = asyncio.ensure_future(server.serve_connection(server_conn))
+        client = ReconcileClient(client_conn, network=network, timeout=timeout)
+        client.start()
+        try:
+            reports = await client.run_sessions(configs)
+        finally:
+            await client.aclose()
+            server_task.cancel()
+            try:
+                await server_task
+            except asyncio.CancelledError:
+                pass
+        return reports, server
+
+    return asyncio.run(asyncio.wait_for(run(), SUITE_TIMEOUT))
+
+
+def _configs(n, seed=7, **overrides):
+    fields = dict(dim=48, n_shared=64, delta=10, delta_bound=6, max_attempts=8)
+    fields.update(overrides)
+    return [
+        SessionConfig(session_id=sid, seed=seed, **fields)
+        for sid in range(1, n + 1)
+    ]
+
+
+class TestCleanService:
+    def test_sessions_reconcile(self):
+        reports, server = run_service(_configs(4))
+        assert len(reports) == 4
+        for report in reports:
+            assert report.success and report.union_ok
+            assert report.rerequests == 0
+            assert report.wire.frames_lost == 0
+        assert server.sessions_opened == 4
+        assert server.sessions_closed == 4
+
+    def test_clean_transcript_matches_in_process_shape(self):
+        """A clean exact session's analytical transcript has exactly the
+        in-process shape: Bob's IBLT, then Alice's difference push."""
+        (report,), _ = run_service(_configs(1, protocol="exact", delta_bound=16))
+        assert report.success and report.union_ok
+        assert report.attempts == 1
+        assert report.escalations == 0
+        assert sorted(report.by_label) == ["alice-only-points", "iblt"]
+        assert report.transcript_rounds == 2
+        assert report.fallback_bound is None
+
+    def test_wire_covers_transcript(self):
+        """Physical wire bytes must dominate the analytical transcript:
+        framing is overhead on top of the measured payload bits."""
+        reports, _ = run_service(_configs(3))
+        for report in reports:
+            assert 8 * report.wire.wire_bytes >= report.transcript_bits
+            assert report.wire.framing_bytes > 0
+            assert (
+                report.wire.wire_bytes
+                == report.wire.payload_bytes + report.wire.framing_bytes
+            )
+
+
+def _faulty_network(seed=7):
+    return SimulatedNetwork(
+        NetworkConfig(
+            seed=derive_seed(seed, "test-service"),
+            loss_rate=0.15,
+            corrupt_rate=0.1,
+            duplicate_rate=0.1,
+            jitter_ms=0.4,
+        )
+    )
+
+
+class TestFaultyService:
+    def test_all_sessions_survive_faults(self):
+        reports, _ = run_service(_configs(5), network=_faulty_network())
+        assert all(r.success and r.union_ok for r in reports)
+        stats = [r.wire for r in reports]
+        # At this fault rate the link must actually have misbehaved.
+        assert sum(s.frames_lost + s.frames_corrupted for s in stats) > 0
+        assert sum(r.rerequests for r in reports) > 0
+
+    def test_reports_deterministic_across_runs(self):
+        """Two same-seed runs render byte-identical documents — the
+        invariant CI's server-smoke gate checks with ``cmp``."""
+        first, _ = run_service(_configs(4), network=_faulty_network())
+        second, _ = run_service(_configs(4), network=_faulty_network())
+        assert render_session_reports(first, seed=7) == render_session_reports(
+            second, seed=7
+        )
+
+    def test_breaker_trips_into_strata_fallback(self):
+        """An undersized bound with no escalation room must trip the
+        breaker; the strata round trip then measures a workable bound."""
+        configs = _configs(
+            1, delta=32, delta_bound=1, max_escalations=1, max_attempts=10
+        )
+        (report,), _ = run_service(configs)
+        assert report.breaker_tripped
+        assert report.fallback_bound is not None and report.fallback_bound >= 4
+        assert report.success and report.union_ok
+        assert "strata-sketch" in report.by_label
+        assert "strata-estimate" in report.by_label
+
+    def test_exact_protocol_never_retries(self):
+        (report,), _ = run_service(
+            _configs(1, protocol="exact", delta=32, delta_bound=1)
+        )
+        assert not report.success  # bound 1 cannot hold 32 differences
+        assert report.attempts == 1
+        assert report.escalations == 0
+        assert not report.breaker_tripped
+
+
+class TestRenderedReport:
+    def test_schema_and_aggregate(self):
+        reports, _ = run_service(_configs(2), network=_faulty_network())
+        document = json.loads(render_session_reports(reports, seed=7))
+        assert document["schema"] == "repro.recon-service/v1"
+        assert document["session_count"] == 2
+        assert [s["session_id"] for s in document["sessions"]] == [1, 2]
+        aggregate = document["aggregate"]
+        assert aggregate["all_reconciled"] is True
+        assert aggregate["wire_covers_transcript"] is True
+        assert (
+            aggregate["framing_bytes"]
+            == aggregate["wire_bytes"] - aggregate["payload_bytes"]
+        )
+
+
+# -- raw-frame conversations with a live server ---------------------------
+
+
+class _RawPeer:
+    """Drive a live server with hand-built frames (a misbehaving client)."""
+
+    def __init__(self):
+        self.client_conn, self.server_conn = memory_pipe()
+        self.server = ReconcileServer()
+        self.server_task = asyncio.ensure_future(
+            self.server.serve_connection(self.server_conn)
+        )
+        self.seq = 0
+
+    def frame(self, msg_type, payload, session_id=1, label="x", seq=None):
+        if seq is None:
+            seq = self.seq
+            self.seq += 1
+        return encode_frame(
+            Frame(
+                msg_type=msg_type,
+                session_id=session_id,
+                seq=seq,
+                sender="alice",
+                label=label,
+                payload=payload,
+                payload_bits=8 * len(payload),
+            )
+        )
+
+    def hello(self, config):
+        return self.frame(
+            MessageType.HELLO, config.to_json(), config.session_id, "hello"
+        )
+
+    async def send(self, raw):
+        await self.client_conn.write_raw(raw)
+
+    async def recv(self):
+        header, raw = await asyncio.wait_for(self.client_conn.read_raw(), 10.0)
+        return decode_body(header, raw[HEADER_LEN:])
+
+    async def finish(self):
+        self.client_conn.close()
+        try:
+            await asyncio.wait_for(self.server_task, 10.0)
+        except asyncio.TimeoutError:  # pragma: no cover - the hang branch
+            self.server_task.cancel()
+            raise AssertionError("server connection never terminated")
+
+
+def _raw(test_coro):
+    """Run a raw-peer conversation under the suite timeout."""
+
+    async def run():
+        peer = _RawPeer()
+        try:
+            await test_coro(peer)
+        finally:
+            await peer.finish()
+
+    asyncio.run(asyncio.wait_for(run(), SUITE_TIMEOUT))
+
+
+class TestServerRobustness:
+    def test_pure_garbage_closes_connection(self):
+        """An unframeable stream ends the connection — typed close, no hang."""
+
+        async def conversation(peer):
+            rng = random.Random(0xDEAD)
+            await peer.send(bytes(rng.randrange(256) for _ in range(512)))
+            with pytest.raises((ConnectionClosedError, DecodeError)):
+                while True:
+                    await peer.recv()
+
+        _raw(conversation)
+
+    def test_damaged_hello_yields_decode_error_frame(self):
+        async def conversation(peer):
+            raw = bytearray(peer.hello(SessionConfig(session_id=1, seed=7)))
+            raw[HEADER_LEN + 10] ^= 0x20  # chew the JSON payload
+            await peer.send(bytes(raw))
+            reply = await peer.recv()
+            assert reply.msg_type is MessageType.ERROR
+            assert parse_json_payload(reply.payload)["code"] == "decode"
+
+        _raw(conversation)
+
+    def test_hello_session_id_mismatch_rejected(self):
+        async def conversation(peer):
+            config = SessionConfig(session_id=2, seed=7)
+            await peer.send(
+                peer.frame(MessageType.HELLO, config.to_json(), 1, "hello")
+            )
+            reply = await peer.recv()
+            assert reply.msg_type is MessageType.ERROR
+            assert parse_json_payload(reply.payload)["code"] == "decode"
+
+        _raw(conversation)
+
+    def test_unknown_session_gets_typed_error(self):
+        async def conversation(peer):
+            await peer.send(
+                peer.frame(
+                    MessageType.REQ_SKETCH, b'{"attempt":1,"bound":4}', 99,
+                    "req-sketch",
+                )
+            )
+            reply = await peer.recv()
+            assert reply.msg_type is MessageType.ERROR
+            assert reply.session_id == 99
+            assert parse_json_payload(reply.payload)["code"] == "unknown-session"
+
+        _raw(conversation)
+
+    def test_duplicate_delivery_answered_once(self):
+        """Same sequence number twice → one ACK; the stream stays in sync."""
+
+        async def conversation(peer):
+            hello = peer.hello(SessionConfig(session_id=1, seed=7))
+            await peer.send(hello)
+            await peer.send(hello)  # duplicated delivery, same seq
+            await peer.send(
+                peer.frame(
+                    MessageType.REQ_SKETCH, b'{"attempt":1,"bound":4}', 1,
+                    "req-sketch",
+                )
+            )
+            first = await peer.recv()
+            second = await peer.recv()
+            assert first.msg_type is MessageType.HELLO_ACK
+            assert second.msg_type is MessageType.SKETCH  # not a second ACK
+
+        _raw(conversation)
+
+    def test_retransmitted_hello_reacked(self):
+        """A *new-seq* HELLO for a live session re-ACKs idempotently."""
+
+        async def conversation(peer):
+            config = SessionConfig(session_id=1, seed=7)
+            await peer.send(peer.hello(config))
+            await peer.send(peer.hello(config))  # fresh seq, same session
+            assert (await peer.recv()).msg_type is MessageType.HELLO_ACK
+            assert (await peer.recv()).msg_type is MessageType.HELLO_ACK
+
+        _raw(conversation)
+
+    def test_bye_closes_session(self):
+        async def conversation(peer):
+            await peer.send(peer.hello(SessionConfig(session_id=1, seed=7)))
+            assert (await peer.recv()).msg_type is MessageType.HELLO_ACK
+            await peer.send(peer.frame(MessageType.BYE, b"", 1, "bye"))
+            await peer.send(
+                peer.frame(
+                    MessageType.REQ_SKETCH, b'{"attempt":1,"bound":4}', 1,
+                    "req-sketch",
+                )
+            )
+            reply = await peer.recv()
+            assert parse_json_payload(reply.payload)["code"] == "unknown-session"
+
+        _raw(conversation)
+
+    def test_hostile_bound_rejected_before_allocation(self):
+        async def conversation(peer):
+            await peer.send(peer.hello(SessionConfig(session_id=1, seed=7)))
+            assert (await peer.recv()).msg_type is MessageType.HELLO_ACK
+            for payload in (
+                b'{"attempt":1,"bound":1099511627776}',  # over MAX_BOUND
+                b'{"attempt":1,"bound":0}',
+                b'{"attempt":0,"bound":4}',
+                b'{"attempt":true,"bound":4}',  # bools are not attempts
+                b'{"bound":4}',
+                b"not json at all",
+            ):
+                await peer.send(
+                    peer.frame(MessageType.REQ_SKETCH, payload, 1, "req-sketch")
+                )
+                reply = await peer.recv()
+                assert reply.msg_type is MessageType.ERROR
+                assert parse_json_payload(reply.payload)["code"] == "decode"
+
+        _raw(conversation)
+
+    def test_fuzzed_frames_never_crash_live_session(self):
+        """Seeded damage to in-session frames: every delivery is answered
+        with a typed ERROR (or ignored as duplicate), never a crash."""
+
+        async def conversation(peer):
+            await peer.send(peer.hello(SessionConfig(session_id=1, seed=7)))
+            assert (await peer.recv()).msg_type is MessageType.HELLO_ACK
+            rng = random.Random(0xF1172)
+            for _ in range(24):
+                raw = bytearray(
+                    peer.frame(
+                        MessageType.REQ_STRATA,
+                        bytes(rng.randrange(256) for _ in range(40)),
+                        1,
+                        "strata-sketch",
+                    )
+                )
+                body_bits = 8 * (len(raw) - HEADER_LEN)
+                position = rng.randrange(body_bits)
+                raw[HEADER_LEN + position // 8] ^= 1 << (position % 8)
+                await peer.send(bytes(raw))
+                reply = await peer.recv()
+                assert reply.msg_type is MessageType.ERROR
+                assert parse_json_payload(reply.payload)["code"] == "decode"
+            # The session survived all of it and still answers.
+            await peer.send(
+                peer.frame(
+                    MessageType.REQ_SKETCH, b'{"attempt":1,"bound":4}', 1,
+                    "req-sketch",
+                )
+            )
+            assert (await peer.recv()).msg_type is MessageType.SKETCH
+
+        _raw(conversation)
+
+
+class TestSessionConfig:
+    def test_json_roundtrip(self):
+        config = SessionConfig(session_id=3, seed=11, delta=4)
+        assert SessionConfig.from_payload(config.to_json()) == config
+
+    def test_workload_is_shared_and_split(self):
+        config = SessionConfig(session_id=1, seed=7, dim=32, n_shared=50, delta=8)
+        alice, bob = config.workload()
+        assert len(alice) == 54 and len(bob) == 54
+        difference = set(alice) ^ set(bob)
+        assert 0 < len(difference) <= 8
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda obj: obj.pop("seed"),
+            lambda obj: obj.update(extra=1),
+            lambda obj: obj.update(protocol="quantum"),
+            lambda obj: obj.update(dim=0),
+            lambda obj: obj.update(seed=True),
+            lambda obj: obj.update(seed="7"),
+        ],
+        ids=["missing", "extra", "bad-protocol", "bad-dim", "bool", "string"],
+    )
+    def test_malformed_hello_rejected(self, mutate):
+        obj = json.loads(SessionConfig(session_id=1, seed=7).to_json())
+        mutate(obj)
+        with pytest.raises(MalformedPayloadError):
+            SessionConfig.from_payload(json.dumps(obj).encode())
+
+    def test_attempt_coins_distinct(self):
+        config = SessionConfig(session_id=1, seed=7)
+        first = config.attempt_coins(1)
+        assert first.child_seed("x") == config.coins().child_seed("x")
+        assert config.attempt_coins(2).child_seed("x") != first.child_seed("x")
+        assert (
+            config.attempt_coins(3).child_seed("x")
+            != config.attempt_coins(2).child_seed("x")
+        )
+
+
+class TestNetworkModel:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(seed=1, loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            NetworkConfig(seed=1, loss_rate=0.7, corrupt_rate=0.5)
+        with pytest.raises(ValueError):
+            NetworkConfig(seed=1, jitter_ms=-1.0)
+
+    def test_decisions_depend_only_on_coordinates(self):
+        """The fault plan is a pure function of (seed, session, direction,
+        seq) — scheduling order cannot change what the link does."""
+        config = NetworkConfig(
+            seed=42, loss_rate=0.3, corrupt_rate=0.3, duplicate_rate=0.3,
+            jitter_ms=1.0,
+        )
+        raw = encode_frame(
+            Frame(
+                msg_type=MessageType.SKETCH,
+                session_id=5,
+                seq=0,
+                sender="bob",
+                label="iblt",
+                payload=b"payload-bytes-here",
+                payload_bits=144,
+            )
+        )
+        from repro.protocol.wire import decode_header
+
+        header = decode_header(raw[:HEADER_LEN])
+
+        def plan(order):
+            link = SessionLink(config, 5)
+            decisions = [
+                link.apply("s2c", seq, header, raw) for seq in order
+            ]
+            return {
+                seq: (d.lost, d.corrupted, d.duplicated, d.latency_ms)
+                for seq, d in zip(order, decisions)
+            }
+
+        forward = plan(list(range(12)))
+        shuffled_order = list(range(12))
+        random.Random(3).shuffle(shuffled_order)
+        assert plan(shuffled_order) == forward
+
+    def test_damage_is_length_preserving_and_detected(self):
+        """Loss and corruption keep the frame parseable (headers intact,
+        lengths unchanged) but always fail the payload CRC."""
+        config = NetworkConfig(
+            seed=9, loss_rate=0.5, corrupt_rate=0.5, jitter_ms=0.0
+        )
+        link = SessionLink(config, 1)
+        frame = Frame(
+            msg_type=MessageType.SKETCH,
+            session_id=1,
+            seq=0,
+            sender="bob",
+            label="iblt",
+            payload=b"some sketch payload",
+            payload_bits=152,
+        )
+        raw = encode_frame(frame)
+        from repro.protocol.wire import decode_frame, decode_header
+
+        header = decode_header(raw[:HEADER_LEN])
+        damaged_seen = 0
+        for seq in range(32):
+            decision = link.apply("s2c", seq, header, raw)
+            for delivery in decision.deliveries:
+                assert len(delivery) == len(raw)
+                decoded, _ = decode_frame(delivery)  # header always intact
+                assert decoded.session_id == 1
+                if decision.lost or decision.corrupted:
+                    damaged_seen += 1
+                    with pytest.raises(MalformedPayloadError):
+                        decoded.verify_payload()
+        assert damaged_seen > 0
