@@ -53,8 +53,12 @@ REGRESSION_FACTOR = 2.0
 #: is parallel efficiency — a function of the *host's* core count, unlike
 #: the python-vs-numpy ratios the same-machine gate was designed around
 #: (a baseline recorded on a many-core box would fail spuriously on a
-#: small CI runner).
-UNGATED_KERNELS = frozenset({"sweep_trials"})
+#: small CI runner).  ``store_warm_serve`` compares a cold rebuild
+#: against a sub-microsecond cache hit: the ratio is enormous and
+#: dominated by timer noise on the warm side, so the gate would flap;
+#: the >= 5x floor the store must clear is asserted inside the kernel
+#: instead.
+UNGATED_KERNELS = frozenset({"sweep_trials", "store_warm_serve"})
 
 
 def _best(callable_, repeats: int) -> float:
@@ -301,6 +305,49 @@ def bench_sweep_trials(n: int, repeats: int) -> tuple[float, float]:
         parallel.close()
 
 
+def bench_store_warm_serve(
+    coins: PublicCoins, n: int, repeats: int
+) -> tuple[float, float]:
+    """Store-backed warm sketch serving vs a cold rebuild of the same set.
+
+    The first column is the cold path: a fresh IBLT over the n-key set
+    plus serialisation — what a stateless server pays on *every* repeat
+    request.  The second is :meth:`SketchStore.serve_iblt` on a resident
+    entry: a warm hit returning the cached payload without touching the
+    Mersenne field.  The payloads are asserted byte-identical and the
+    warm path is asserted to hash zero keys, so the ratio measures the
+    cost of statelessness, not a shortcut — and the kernel itself
+    asserts the >= 5x floor (the report row is not regression-gated;
+    see ``UNGATED_KERNELS``).
+    """
+    from repro.store import SketchStore, StoreConfig
+
+    keys, _, differences = _iblt_inputs(n)
+    cells = cells_for_differences(2 * differences)
+    store = SketchStore(StoreConfig(seed=2019, shards=4, capacity=8))
+    store.put_set(1, keys.tolist(), key_bits=55)
+
+    def cold() -> tuple[bytes, int]:
+        table = IBLT(coins, "bench-store", cells=cells, q=3, key_bits=55)
+        table.insert_batch(keys)
+        return table.to_payload()
+
+    def warm() -> tuple[bytes, int]:
+        return store.serve_iblt(1, coins, "bench-store", cells=cells, q=3)
+
+    cold_payload = cold()
+    assert warm() == cold_payload, "warm serve must be byte-identical to cold"
+    hashed_before = store.stats.keys_hashed
+    assert warm() == cold_payload
+    assert store.stats.keys_hashed == hashed_before, "warm serve hashed keys"
+    cold_s = _best(cold, max(2, repeats // 2))
+    warm_s = _best(warm, repeats)
+    assert cold_s >= 5 * warm_s, (
+        f"warm serve must be >= 5x a cold rebuild, got {cold_s / warm_s:.1f}x"
+    )
+    return cold_s, warm_s
+
+
 def _iblt_inputs(
     n: int, fraction: float = DIFF_FRACTION
 ) -> tuple[np.ndarray, np.ndarray, int]:
@@ -366,6 +413,7 @@ def run(n: int, repeats: int, quick: bool) -> dict:
     record("emd_round", *bench_emd_round(coins, n, repeats))
     record("riblt_decode", *bench_riblt_decode(coins, n, repeats))
     record("iblt_decode_tail", *bench_iblt_decode_tail(coins, n, repeats))
+    record("store_warm_serve", *bench_store_warm_serve(coins, n, repeats))
     (build_py, build_np), (decode_py, decode_np) = bench_iblt(coins, n, repeats)
     record("iblt_build", build_py, build_np)
     record("iblt_decode", decode_py, decode_np)

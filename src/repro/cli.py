@@ -15,7 +15,8 @@ Commands
                point, optionally on a process pool, aggregated into a
                ``repro.sweeps/v1`` curve report.
 ``serve``      The asyncio reconciliation server (Bob as a service) on a
-               TCP port, speaking the framed wire protocol.
+               TCP port, speaking the framed wire protocol; ``--store``
+               attaches a sharded sketch store for warm repeat serves.
 ``client``     Run N concurrent reconciliation sessions against a
                server, optionally over a seeded simulated lossy link,
                and emit a canonical ``repro.recon-service/v1`` report.
@@ -30,9 +31,9 @@ Examples
     python -m repro.cli exact --method cpi --n 100 --delta 8
     python -m repro.cli scenarios --seed 7 --backend numpy --output out.json
     python -m repro.cli sweep --campaign iblt-threshold --seed 7 --jobs 2
-    python -m repro.cli serve --port 8377
+    python -m repro.cli serve --port 8377 --store
     python -m repro.cli client --port 8377 --sessions 8 --seed 7 \\
-        --loss-rate 0.1 --duplicate-rate 0.05
+        --loss-rate 0.1 --duplicate-rate 0.05 --reorder-rate 0.1
 """
 
 from __future__ import annotations
@@ -301,12 +302,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import ReconcileServer
 
+    store = None
+    if args.store:
+        from .store import SketchStore, StoreConfig
+
+        store = SketchStore(
+            StoreConfig(
+                seed=args.seed,
+                shards=args.store_shards,
+                capacity=args.store_capacity,
+            )
+        )
+
     async def run() -> None:
-        server = ReconcileServer()
+        server = ReconcileServer(store=store)
         tcp_server = await server.serve_tcp(args.host, args.port)
         bound = tcp_server.sockets[0].getsockname()
+        mode = "store-backed" if store is not None else "stateless"
         # Readiness line on stderr: CI's server-smoke gate waits for it.
-        print(f"recon-service listening on {bound[0]}:{bound[1]}",
+        print(f"recon-service ({mode}) listening on {bound[0]}:{bound[1]}",
               file=sys.stderr, flush=True)
         async with tcp_server:
             await tcp_server.serve_forever()
@@ -349,6 +363,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
             loss_rate=args.loss_rate,
             corrupt_rate=args.corrupt_rate,
             duplicate_rate=args.duplicate_rate,
+            reorder_rate=args.reorder_rate,
             base_latency_ms=args.base_latency_ms,
             jitter_ms=args.jitter_ms,
         )
@@ -470,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8377)
+    serve_parser.add_argument("--store", action="store_true",
+                              help="attach a sketch store: repeat sketch requests "
+                                   "for unchanged workloads become warm cache hits "
+                                   "(wire bytes are pinned identical to stateless)")
+    serve_parser.add_argument("--store-shards", type=int, default=8,
+                              help="key-range shards in the store")
+    serve_parser.add_argument("--store-capacity", type=int, default=32,
+                              help="LRU entry capacity per shard")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="store identity seed (shard routing)")
     serve_parser.set_defaults(handler=_cmd_serve)
 
     client_parser = sub.add_parser(
@@ -494,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument("--loss-rate", type=float, default=0.0)
     client_parser.add_argument("--corrupt-rate", type=float, default=0.0)
     client_parser.add_argument("--duplicate-rate", type=float, default=0.0)
+    client_parser.add_argument("--reorder-rate", type=float, default=0.0)
     client_parser.add_argument("--base-latency-ms", type=float, default=0.2)
     client_parser.add_argument("--jitter-ms", type=float, default=0.0)
     client_parser.add_argument("--timeout", type=float, default=30.0,

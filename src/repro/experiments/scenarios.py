@@ -466,6 +466,7 @@ def _drive_recon_service(
         ReconcileClient,
         ReconcileServer,
         SessionConfig,
+        SessionWireStats,
         SimulatedNetwork,
         memory_pipe,
     )
@@ -492,6 +493,7 @@ def _drive_recon_service(
             loss_rate=p.get("loss_rate", 0.0),
             corrupt_rate=p.get("corrupt_rate", 0.0),
             duplicate_rate=p.get("duplicate_rate", 0.0),
+            reorder_rate=p.get("reorder_rate", 0.0),
             base_latency_ms=p.get("base_latency_ms", 0.2),
             jitter_ms=p.get("jitter_ms", 0.0),
         )
@@ -517,6 +519,12 @@ def _drive_recon_service(
     transcript_bits = sum(r.transcript_bits for r in reports)
     wire_bytes = sum(r.wire.wire_bytes for r in reports)
     payload_bytes = sum(r.wire.payload_bytes for r in reports)
+    # Percentiles over the *pooled* per-frame latency draws, not a mean
+    # of per-session percentiles (which would weight sessions equally
+    # regardless of how many frames each carried).
+    pooled = SessionWireStats()
+    for r in reports:
+        pooled.sim_latency_samples.extend(r.wire.sim_latency_samples)
     return {
         "success": bool(all(r.success and r.union_ok for r in reports)),
         "rounds": sum(r.transcript_rounds for r in reports),
@@ -533,9 +541,188 @@ def _drive_recon_service(
         "frames_lost": sum(r.wire.frames_lost for r in reports),
         "frames_corrupted": sum(r.wire.frames_corrupted for r in reports),
         "frames_duplicated": sum(r.wire.frames_duplicated for r in reports),
+        "frames_reordered": sum(r.wire.frames_reordered for r in reports),
         "sim_latency_ms": _round6(sum(r.wire.sim_latency_ms for r in reports)),
+        "sim_latency_p50_ms": _round6(pooled.latency_percentile(0.50)),
+        "sim_latency_p99_ms": _round6(pooled.latency_percentile(0.99)),
         # The physical wire must carry at least the analytical transcript.
         "wire_covers_transcript": bool(8 * wire_bytes >= transcript_bits),
+    }
+
+
+def _drive_store_churn(
+    spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
+) -> dict:
+    """Windowed reconciliation against the sharded sketch store under churn.
+
+    ``sets`` hot keyed sets live in a :class:`~repro.store.SketchStore`
+    whose per-shard LRU capacity is deliberately tight.  Each window
+    (1) applies a seeded insert/delete delta to every hot set through
+    ``apply_mutations`` — incrementally refreshing warm sketches instead
+    of rebuilding them, (2) registers throwaway *guest* sets to pressure
+    the LRU (an evicted hot set must be re-registered from its
+    membership, which the report counts), and (3) reconciles each hot
+    set against a lagging replica: the store serves the sketch (warm
+    where resident), the replica deletes its stale view and peels.  An
+    undecodable table escalates the bound through a
+    :class:`~repro.reconcile.resilient.BreakerState`; a tripped breaker
+    falls back to a store-served strata measurement, and the final state
+    is persisted per replica in the store — so a set whose churn
+    outruns its bound starts *later windows* at the escalated bound.
+    ``success`` requires every recovered difference to match ground
+    truth exactly and every replica to end the run converged.  Cache
+    accounting (hits, rebuilds avoided, incremental refreshes,
+    evictions) is reported but never affects served bytes.
+    """
+    from ..iblt.iblt import cells_for_differences
+    from ..reconcile.resilient import BreakerState
+    from ..store import SketchStore, StoreConfig
+
+    p = spec.params
+    n, churn, windows = p["n"], p["churn"], p["windows"]
+    key_bits = p.get("key_bits", 55)
+    guests = p.get("guests", 2)
+    q = p.get("q", 3)
+    policy = ResilienceConfig(
+        max_attempts=p.get("max_attempts", 6),
+        max_escalations=p.get("max_escalations", 3),
+        q=q,
+    )
+    store = SketchStore(
+        StoreConfig(
+            seed=spec.seed,
+            shards=p.get("shards", 2),
+            capacity=p.get("capacity", 4),
+        )
+    )
+    mask = (1 << 61) - 1
+    taken: "set[int]" = set()
+
+    def fresh_keys(count: int) -> "list[int]":
+        """``count`` universe-unique keys, in draw order (seeded)."""
+        out: "list[int]" = []
+        while len(out) < count:
+            drawn = rng.integers(0, 1 << key_bits, size=max(8, 2 * count))
+            for key in (int(k) for k in drawn):
+                if key not in taken:
+                    taken.add(key)
+                    out.append(key)
+                    if len(out) == count:
+                        break
+        return out
+
+    truths: "list[set[int]]" = []
+    replicas: "list[set[int]]" = []
+    store_keys: "list[int]" = []
+    set_coins: "list[PublicCoins]" = []
+    for index in range(p["sets"]):
+        keys = fresh_keys(n)
+        truths.append(set(keys))
+        replicas.append(set(keys))
+        store_keys.append(derive_seed(spec.seed, "store-churn-set", index) & mask)
+        store.put_set(store_keys[index], keys, key_bits=key_bits)
+        # Coins are per *set*, not per window: the slot survives churn
+        # (refreshed in place), which is what makes repeat serves warm.
+        set_coins.append(coins.child("store-set", index))
+
+    serves = decode_failures = escalations = 0
+    strata_fallbacks = reregistrations = 0
+    bits_total = 0
+    all_exact = True
+    for window in range(windows):
+        # -- churn phase: mutate every hot set, incrementally when warm.
+        for index in range(p["sets"]):
+            truth = truths[index]
+            dels = [int(k) for k in rng.choice(sorted(truth), size=churn // 2, replace=False)]
+            ins = fresh_keys(churn - churn // 2)
+            truth.difference_update(dels)
+            truth.update(ins)
+            if store.contains(store_keys[index]):
+                store.apply_mutations(store_keys[index], inserts=ins, deletes=dels)
+            else:
+                store.put_set(store_keys[index], sorted(truth), key_bits=key_bits)
+                reregistrations += 1
+        # -- guest phase: one-shot registrations pressure the LRU.
+        for guest in range(guests):
+            gkey = derive_seed(spec.seed, "store-churn-guest", window, guest) & mask
+            store.put_set(gkey, fresh_keys(n), key_bits=key_bits)
+        # -- reconcile phase: each replica catches up through the store.
+        for index in range(p["sets"]):
+            skey, truth, replica = store_keys[index], truths[index], replicas[index]
+            if not store.contains(skey):
+                store.put_set(skey, sorted(truth), key_bits=key_bits)
+                reregistrations += 1
+            peer = ("replica", index)
+            state = store.load_breaker(peer) or BreakerState(bound=p["delta_bound"])
+            stale_view = np.asarray(sorted(replica), dtype=np.uint64)
+            decoded = None
+            for _attempt in range(policy.max_attempts):
+                cells = cells_for_differences(state.bound, q=q)
+                payload, bits = store.serve_iblt(
+                    skey, set_coins[index], "store-churn", cells=cells, q=q
+                )
+                serves += 1
+                bits_total += bits
+                view = IBLT(
+                    set_coins[index], "store-churn", cells=cells, q=q, key_bits=key_bits
+                ).from_payload(payload)
+                view.delete_batch(stale_view)
+                result = view.decode()
+                if result.success:
+                    decoded = result
+                    break
+                decode_failures += 1
+                advanced = state.after_undecodable(policy)
+                if advanced.escalations > state.escalations:
+                    escalations += 1
+                state = advanced
+                if state.breaker_open and state.fallback_bound is None:
+                    # Escalation budget exhausted: measure the difference
+                    # with the store-served strata estimator (read-only;
+                    # ``subtract`` returns a fresh result).
+                    served = store.serve_strata(
+                        skey, set_coins[index].child("strata"), "store-churn-strata"
+                    )
+                    local = StrataEstimator(
+                        set_coins[index].child("strata"),
+                        "store-churn-strata",
+                        key_bits=key_bits,
+                    )
+                    local.insert_batch(stale_view)
+                    bits_total += served.to_payload()[1]
+                    state = state.with_fallback(max(4, served.subtract(local).estimate()))
+                    strata_fallbacks += 1
+            store.save_breaker(peer, state)
+            if decoded is None:
+                all_exact = False  # replica stays stale; churn compounds
+                continue
+            missing = {int(key) for key in decoded.inserted}
+            stale = {int(key) for key in decoded.deleted}
+            if missing != truth - replica or stale != replica - truth:
+                all_exact = False
+            replica -= stale
+            replica |= missing
+
+    converged = all(replicas[i] == truths[i] for i in range(p["sets"]))
+    stats = store.stats
+    return {
+        "success": bool(all_exact and converged),
+        "rounds": windows,
+        "bits": bits_total,
+        "sets": p["sets"],
+        "serves": serves,
+        "decode_failures": decode_failures,
+        "escalations": escalations,
+        "strata_fallbacks": strata_fallbacks,
+        "reregistrations": reregistrations,
+        "store_hits": stats.hits,
+        "store_misses": stats.misses,
+        "store_hit_rate": _round6(stats.hit_rate),
+        "rebuilds_avoided": stats.rebuilds_avoided,
+        "incremental_refreshes": stats.incremental_refreshes,
+        "keys_hashed": stats.keys_hashed,
+        "evictions": stats.evictions,
+        "sketch_evictions": stats.sketch_evictions,
     }
 
 
@@ -590,6 +777,7 @@ DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], di
     "multiparty": _drive_multiparty,
     "resilient-recon": _drive_resilient,
     "recon-service": _drive_recon_service,
+    "store-churn": _drive_store_churn,
 }
 
 
@@ -701,6 +889,21 @@ def builtin_scenarios(seed: int = 0) -> list[ScenarioSpec]:
             {"sessions": 6, "dim": 48, "n": 96, "delta": 12, "delta_bound": 4,
              "max_escalations": 1, "max_attempts": 10,
              "loss_rate": 0.15, "corrupt_rate": 0.1, "duplicate_rate": 0.1,
-             "jitter_ms": 0.4},
+             "reorder_rate": 0.1, "jitter_ms": 0.4},
+        ),
+        # The sketch store under churn: 6 hot sets across 3 shards of LRU
+        # capacity 4, with per-window guest registrations forcing real
+        # evictions while the hot sets stay warm (hit rate > 0 is the CI
+        # store-smoke gate).  delta_bound 2 against 8 differences per
+        # window forces escalations whose BreakerState persists in the
+        # store, so later windows open at the escalated bound — which is
+        # exactly what keeps their sketch shape stable and warm.
+        ScenarioSpec(
+            "store-churn-lru",
+            "store-churn",
+            seed,
+            {"sets": 6, "n": 64, "windows": 5, "churn": 8, "guests": 2,
+             "shards": 3, "capacity": 4, "delta_bound": 2,
+             "max_escalations": 3, "max_attempts": 6, "key_bits": 55},
         ),
     ]

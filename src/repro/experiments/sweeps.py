@@ -40,9 +40,10 @@ Layers
     times never enter the document.
 
 :func:`builtin_campaigns`
-    Six paper-style curves: ``iblt-threshold``, ``gap-ratio``,
-    ``emd-levels``, ``emd-branching``, ``fault-rate`` and
-    ``multiparty-parties``, exposed as ``python -m repro.cli sweep``.
+    Seven paper-style curves: ``iblt-threshold``, ``gap-ratio``,
+    ``emd-levels``, ``emd-branching``, ``fault-rate``,
+    ``multiparty-parties`` and ``store-churn``, exposed as
+    ``python -m repro.cli sweep``.
 """
 
 from __future__ import annotations
@@ -460,6 +461,11 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
         Total star-topology cost against the party count: the
         multi-party lift runs one two-party Gap reconciliation per
         non-centre party, so cost should scale near-linearly.
+    ``store-churn``
+        The sketch store's recompute cost against churn rate × LRU
+        capacity: warm hit rate and keys hashed per run as mutation
+        pressure rises and residency shrinks — the trade-off curve the
+        store's incremental-maintenance path exists to bend.
     """
     campaigns = [
         SweepSpec(
@@ -552,6 +558,27 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
             # dim 96 keeps far points at r2 + 8 placeable for every party
             # count (see the multiparty-star builtin scenario note).
             base_params={"dim": 96, "n": 12, "r1": 2.0, "r2": 32.0},
+            trials=3,
+        ),
+        SweepSpec(
+            name="store-churn",
+            protocol="store-churn",
+            # churn spans gentle (half the base bound decodes first try)
+            # to violent (every window escalates); capacity spans
+            # thrashing (2 slots per shard for 2 hot sets plus guests)
+            # to fully resident.
+            axes={"churn": (4, 8, 16), "capacity": (2, 4, 8)},
+            base_params={
+                "sets": 6,
+                "n": 48,
+                "windows": 4,
+                "guests": 2,
+                "shards": 3,
+                "delta_bound": 2,
+                "max_escalations": 3,
+                "max_attempts": 6,
+                "key_bits": 55,
+            },
             trials=3,
         ),
     ]

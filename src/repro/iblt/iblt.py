@@ -408,6 +408,45 @@ class IBLT:
         for key in keys:
             self.delete(key)
 
+    def apply_mutations(
+        self,
+        inserts: "np.ndarray | Iterable[int]" = (),
+        deletes: "np.ndarray | Iterable[int]" = (),
+    ) -> None:
+        """Apply an insert/delete delta in one combined signed pass.
+
+        Cell updates are commuting exact integer/XOR operations, so the
+        result is pinned bit-identical to ``insert_batch(inserts)``
+        followed by ``delete_batch(deletes)`` — warm-snapshot
+        maintainers (the sketch store) rely on that.  On the numpy
+        backend both deltas share a single scatter; either side may be
+        empty.  Invalid keys in either delta leave the table untouched.
+        """
+        if self.backend != "numpy":
+            ins = [
+                self._check_key(key) for key in np.asarray(list(inserts)).ravel().tolist()
+            ]
+            dels = [
+                self._check_key(key) for key in np.asarray(list(deletes)).ravel().tolist()
+            ]
+            for key in ins:
+                self._update(key, +1)
+            for key in dels:
+                self._update(key, -1)
+            return
+        ins = self._check_key_array(inserts)
+        dels = self._check_key_array(deletes)
+        if ins.size == 0 and dels.size == 0:
+            return
+        keys = np.concatenate([ins, dels])
+        signs = np.concatenate(
+            [
+                np.ones(ins.size, dtype=np.int64),
+                -np.ones(dels.size, dtype=np.int64),
+            ]
+        )
+        self._scatter(keys, signs)
+
     # -- combination ---------------------------------------------------------
     def subtract(self, other: "IBLT") -> "IBLT":
         """Cell-wise difference ``self - other`` (for reconciliation).

@@ -11,6 +11,7 @@ from .cpi import CPIResult, cpi_reconcile, evaluate_characteristic
 from .outcome import ReconcileOutcome, outcome_metrics
 from .resilient import (
     AttemptRecord,
+    BreakerState,
     RecoveryReport,
     ResilienceConfig,
     ResilientReconcileResult,
@@ -22,6 +23,7 @@ from .quadtree import QuadtreeEMDProtocol, QuadtreeResult
 
 __all__ = [
     "AttemptRecord",
+    "BreakerState",
     "RecoveryReport",
     "ResilienceConfig",
     "ResilientReconcileResult",

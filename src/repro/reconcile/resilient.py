@@ -35,9 +35,9 @@ fault-smoke gate aggregate.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from ..errors import DecodeError
+from ..errors import DecodeError, MalformedPayloadError
 from ..hashing import PublicCoins
 from ..iblt.iblt import cells_for_differences
 from ..metric.spaces import MetricSpace, Point
@@ -54,6 +54,7 @@ from .strata import StrataEstimator
 
 __all__ = [
     "ResilienceConfig",
+    "BreakerState",
     "AttemptRecord",
     "RecoveryReport",
     "ResilientReconcileResult",
@@ -99,6 +100,112 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class BreakerState:
+    """Serialisable circuit-breaker state of the recovery loop.
+
+    Everything the escalation policy has learned about a peer — the
+    current difference bound, the blind escalations consumed, whether
+    the breaker is open, and the strata-measured fallback bound — in one
+    frozen value.  :func:`resilient_reconcile` both consumes it (resume
+    a returning peer where the last session left off) and produces it
+    (:attr:`RecoveryReport.breaker`), and the sketch store persists it
+    per peer, so a flaky peer's next session starts at its escalated
+    bound instead of rediscovering the failure.
+    """
+
+    bound: int
+    escalations: int = 0
+    breaker_open: bool = False
+    fallback_bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError(f"bound must be >= 1, got {self.bound}")
+        if self.escalations < 0:
+            raise ValueError(f"escalations must be >= 0, got {self.escalations}")
+        if self.fallback_bound is not None and self.fallback_bound < 1:
+            raise ValueError(
+                f"fallback_bound must be >= 1, got {self.fallback_bound}"
+            )
+
+    # -- policy transitions --------------------------------------------------
+    def after_undecodable(self, config: ResilienceConfig) -> "BreakerState":
+        """The state after a well-formed but undecodable sketch.
+
+        Closed breaker: escalate geometrically while blind steps remain,
+        else trip open.  Open breaker with a measured fallback: double
+        the fallback.  Open breaker awaiting measurement: unchanged (the
+        strata half-round itself was lost; retry it wholesale).
+        """
+        if not self.breaker_open:
+            if self.escalations < config.max_escalations:
+                return replace(
+                    self,
+                    bound=self.bound * config.escalation_factor,
+                    escalations=self.escalations + 1,
+                )
+            return replace(self, breaker_open=True)
+        if self.fallback_bound is not None:
+            grown = self.fallback_bound * config.escalation_factor
+            return replace(self, bound=grown, fallback_bound=grown)
+        return self
+
+    def with_fallback(self, measured: int) -> "BreakerState":
+        """Adopt a strata-measured bound as the fallback baseline."""
+        return replace(self, bound=measured, fallback_bound=measured)
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "bound": self.bound,
+            "escalations": self.escalations,
+            "breaker_open": self.breaker_open,
+            "fallback_bound": self.fallback_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "BreakerState":
+        """Restore persisted state, treating it as untrusted input.
+
+        Damage raises :class:`~repro.errors.MalformedPayloadError` (the
+        typed :class:`~repro.errors.DecodeError` surface), never a bare
+        ``KeyError``/``TypeError`` — stores load these from disk or
+        wire.
+        """
+        if not isinstance(payload, dict):
+            raise MalformedPayloadError(
+                f"breaker state must be a dict, got {type(payload).__name__}"
+            )
+        expected = {"bound", "escalations", "breaker_open", "fallback_bound"}
+        if set(payload) != expected:
+            raise MalformedPayloadError(
+                f"breaker state keys {sorted(payload)} != {sorted(expected)}"
+            )
+        bound = payload["bound"]
+        escalations = payload["escalations"]
+        breaker_open = payload["breaker_open"]
+        fallback_bound = payload["fallback_bound"]
+        for name, value in (("bound", bound), ("escalations", escalations)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise MalformedPayloadError(f"breaker {name} must be an int")
+        if not isinstance(breaker_open, bool):
+            raise MalformedPayloadError("breaker breaker_open must be a bool")
+        if fallback_bound is not None and (
+            not isinstance(fallback_bound, int) or isinstance(fallback_bound, bool)
+        ):
+            raise MalformedPayloadError("breaker fallback_bound must be int or None")
+        try:
+            return cls(
+                bound=bound,
+                escalations=escalations,
+                breaker_open=breaker_open,
+                fallback_bound=fallback_bound,
+            )
+        except ValueError as exc:
+            raise MalformedPayloadError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
 class AttemptRecord:
     """One reconciliation attempt on the recovery path."""
 
@@ -139,6 +246,7 @@ class RecoveryReport:
     total_bits: int = 0
     rounds: int = 0
     faults: dict = field(default_factory=dict)
+    breaker: "BreakerState | None" = None  #: final state; persist per peer
 
     @property
     def recovery_bits(self) -> int:
@@ -160,6 +268,7 @@ class RecoveryReport:
             "rounds": self.rounds,
             "recovery_bits": self.recovery_bits,
             "faults": dict(self.faults),
+            "breaker": None if self.breaker is None else self.breaker.to_dict(),
         }
 
     def to_json(self) -> str:
@@ -226,6 +335,7 @@ def resilient_reconcile(
     coins: PublicCoins,
     channel: "Channel | FaultyChannel | None" = None,
     config: ResilienceConfig = ResilienceConfig(),
+    breaker: "BreakerState | None" = None,
 ) -> ResilientReconcileResult:
     """Exact two-way reconciliation with a deterministic recovery path.
 
@@ -233,15 +343,22 @@ def resilient_reconcile(
     :class:`~repro.protocol.channel.Channel` or a
     :class:`~repro.protocol.faults.FaultyChannel`; bits and rounds always
     come from the (inner) transcript, so recovery cost is *measured*.
+
+    ``breaker`` resumes a persisted :class:`BreakerState` (e.g. from a
+    sketch store): the first attempt runs at the persisted bound with
+    the persisted escalation budget already consumed, so a returning
+    flaky peer skips straight to where its last session ended.  Omitted,
+    the loop starts fresh at ``delta_bound`` and behaves exactly as
+    before (pinned by the no-fault parity tests).  Either way the final
+    state lands in :attr:`RecoveryReport.breaker` for persisting.
     """
     channel = channel if channel is not None else Channel()
     report = RecoveryReport(success=False)
     final: ExactReconcileResult | None = None
 
-    breaker_open = False
-    bound = delta_bound
-    fallback_bound: int | None = None
-    phase = "primary"
+    resumed = breaker is not None
+    state = breaker if resumed else BreakerState(bound=delta_bound)
+    phase = "resumed" if resumed else "primary"
 
     for attempt in range(1, config.max_attempts + 1):
         attempt_coins = (
@@ -251,17 +368,17 @@ def resilient_reconcile(
         rounds_before = channel.rounds
         outcome = "corrupted"
         try:
-            if breaker_open and fallback_bound is None:
-                fallback_bound = _strata_estimate(
+            if state.breaker_open and state.fallback_bound is None:
+                measured = _strata_estimate(
                     space, alice_points, bob_points, attempt_coins, channel
                 )
-                report.fallback_bound = fallback_bound
-                bound = fallback_bound
+                state = state.with_fallback(measured)
+                report.fallback_bound = measured
             result = exact_iblt_reconcile(
                 space,
                 alice_points,
                 bob_points,
-                delta_bound=bound,
+                delta_bound=state.bound,
                 coins=attempt_coins,
                 channel=channel,
                 q=config.q,
@@ -278,9 +395,9 @@ def resilient_reconcile(
             AttemptRecord(
                 attempt=attempt,
                 phase=phase,
-                breaker="open" if breaker_open else "closed",
-                delta_bound=bound,
-                cells=cells_for_differences(bound, q=config.q),
+                breaker="open" if state.breaker_open else "closed",
+                delta_bound=state.bound,
+                cells=cells_for_differences(state.bound, q=config.q),
                 outcome=outcome,
                 bits=channel.total_bits - bits_before,
                 cumulative_bits=channel.total_bits,
@@ -296,19 +413,16 @@ def resilient_reconcile(
             if phase == "primary":
                 phase = "rerequest"
         else:  # undecodable: the table was undersized for the difference
-            if not breaker_open:
-                if report.escalations < config.max_escalations:
-                    report.escalations += 1
-                    bound *= config.escalation_factor
-                    phase = "escalated"
-                else:
-                    breaker_open = True
-                    report.breaker_tripped = True
-                    phase = "fallback"
-            elif fallback_bound is not None:
-                fallback_bound *= config.escalation_factor
-                bound = fallback_bound
+            advanced = state.after_undecodable(config)
+            if advanced.escalations > state.escalations:
+                report.escalations += 1
+                phase = "escalated"
+            elif advanced.breaker_open and not state.breaker_open:
+                report.breaker_tripped = True
+                phase = "fallback"
+            state = advanced
 
+    report.breaker = state
     report.success = final is not None
     report.total_bits = channel.total_bits
     report.rounds = channel.rounds

@@ -148,6 +148,47 @@ class StrataEstimator:
         for key in keys:
             self.insert(key)
 
+    def delete(self, key: int) -> None:
+        self.tables[self._stratum_of(key)].delete(key)
+
+    def delete_batch(self, keys: np.ndarray) -> None:
+        """Remove a whole key array, routing each key to its stratum."""
+        if self.backend != "numpy":
+            key_list = [int(key) for key in np.asarray(keys).ravel().tolist()]
+            limit = 1 << self.shape.key_bits
+            for key in key_list:
+                if not 0 <= key < limit:
+                    raise ValueError(
+                        f"key {key} outside [0, 2^{self.shape.key_bits})"
+                    )
+            for key in key_list:
+                self.delete(key)
+            return
+        keys = coerce_key_array(keys, self.shape.key_bits)
+        if keys.size == 0:
+            return
+        strata = self._strata_of_batch(keys)
+        for stratum in np.unique(strata).tolist():
+            self.tables[stratum].delete_batch(keys[strata == stratum])
+
+    def apply_mutations(
+        self,
+        inserts: "np.ndarray | Iterable[int]" = (),
+        deletes: "np.ndarray | Iterable[int]" = (),
+    ) -> None:
+        """Apply an insert/delete delta to the stratum tables in place.
+
+        Stratum routing is a pure hash of the key, so the result is
+        pinned bit-identical to rebuilding the estimator from the
+        mutated set — the sketch store maintains warm strata this way.
+        """
+        if self.backend == "numpy":
+            self.insert_batch(coerce_key_array(inserts, self.shape.key_bits))
+            self.delete_batch(coerce_key_array(deletes, self.shape.key_bits))
+            return
+        self.insert_batch(np.asarray(list(inserts)))
+        self.delete_batch(np.asarray(list(deletes)))
+
     def subtract(self, other: "StrataEstimator") -> "StrataEstimator":
         if self.shape != other.shape or self.label != other.label:
             raise ValueError("strata estimators are structurally incompatible")

@@ -38,6 +38,7 @@ from ..protocol.channel import ALICE
 from ..protocol.serialize import BitWriter, write_points
 from ..protocol.wire import Frame, MessageType
 from ..reconcile.exact_iblt import decode_point, encode_point, encode_points
+from ..reconcile.resilient import BreakerState, ResilienceConfig
 from ..reconcile.strata import StrataEstimator
 from .network import SimulatedNetwork
 from .session import SessionConfig, insert_all, json_payload, parse_json_payload
@@ -159,22 +160,25 @@ class ReconcileClient:
 
         resilient = config.protocol == "resilient"
         max_attempts = config.max_attempts if resilient else 1
-        max_escalations = config.max_escalations if resilient else 0
-
-        bound = config.delta_bound
-        breaker_open = False
-        fallback_bound: "int | None" = None
+        # The wire controller runs the same escalation policy as the
+        # in-process resilient loop, through the same state machine.
+        policy = ResilienceConfig(
+            max_attempts=max_attempts,
+            max_escalations=config.max_escalations if resilient else 0,
+        )
+        breaker = BreakerState(bound=config.delta_bound)
         success = False
         alice_only: "list | None" = None
 
         for attempt in range(1, max_attempts + 1):
             state.attempts = attempt
             attempt_coins = config.attempt_coins(attempt)
-            if breaker_open and fallback_bound is None:
-                fallback_bound = await self._strata_fallback(
+            if breaker.breaker_open and breaker.fallback_bound is None:
+                measured = await self._strata_fallback(
                     config, channel, state, space, alice, key_bits
                 )
-                bound = fallback_bound
+                breaker = breaker.with_fallback(measured)
+            bound = breaker.bound
             outcome = "corrupted"
             try:
                 frame = await self._request(
@@ -220,16 +224,13 @@ class ReconcileClient:
                 state.rerequests += 1
             elif not resilient:
                 pass  # exact: one attempt, no recovery policy
-            elif not breaker_open:
-                if state.escalations < max_escalations:
+            else:
+                advanced = breaker.after_undecodable(policy)
+                if advanced.escalations > breaker.escalations:
                     state.escalations += 1
-                    bound *= 2
-                else:
-                    breaker_open = True
+                elif advanced.breaker_open and not breaker.breaker_open:
                     state.breaker_tripped = True
-            elif fallback_bound is not None:
-                fallback_bound *= 2
-                bound = fallback_bound
+                breaker = advanced
 
         union_ok = False
         bob_size = -1
@@ -263,7 +264,7 @@ class ReconcileClient:
             escalations=state.escalations,
             rerequests=state.rerequests,
             breaker_tripped=state.breaker_tripped,
-            fallback_bound=fallback_bound,
+            fallback_bound=breaker.fallback_bound,
             transcript_bits=summary.total_bits,
             transcript_rounds=summary.rounds,
             by_label=summary.by_label,
@@ -371,6 +372,10 @@ def render_session_reports(reports: "list[SessionReport]", seed: int) -> str:
     wire_bytes = sum(r.wire.wire_bytes for r in ordered)
     payload_bytes = sum(r.wire.payload_bytes for r in ordered)
     transcript_bits = sum(r.transcript_bits for r in ordered)
+    # Run-wide latency percentiles pool every session's drawn samples.
+    pooled = SessionWireStats()
+    for report in ordered:
+        pooled.sim_latency_samples.extend(report.wire.sim_latency_samples)
     document = {
         "schema": "repro.recon-service/v1",
         "seed": seed,
@@ -385,7 +390,10 @@ def render_session_reports(reports: "list[SessionReport]", seed: int) -> str:
             "rerequests": sum(r.rerequests for r in ordered),
             "escalations": sum(r.escalations for r in ordered),
             "breakers_tripped": sum(1 for r in ordered if r.breaker_tripped),
+            "frames_reordered": sum(r.wire.frames_reordered for r in ordered),
             "sim_latency_ms": round(sum(r.wire.sim_latency_ms for r in ordered), 6),
+            "sim_latency_p50_ms": round(pooled.latency_percentile(0.50), 6),
+            "sim_latency_p99_ms": round(pooled.latency_percentile(0.99), 6),
             "wire_covers_transcript": bool(8 * wire_bytes >= transcript_bits),
         },
     }

@@ -19,6 +19,13 @@ stream must stay reassemblable):
 * **corruption** — a few payload bits flip; detected by the payload CRC.
 * **duplication** — the (possibly damaged) frame is delivered twice;
   receivers deduplicate by sequence number.
+* **reordering** — modelled as a *late duplicate*: the frame is
+  delivered on time and a deferred stale copy arrives after the next
+  frame in the same direction, so receivers observe genuinely
+  out-of-order sequence numbers.  (Deferring the *only* copy of a
+  frame would stall a stop-and-wait protocol against the wall-clock
+  timeout — nondeterministically.  A retransmission racing a newer
+  frame is also how real links reorder under this protocol.)
 * **latency** — a per-frame value ``base + jitter·U(0,1)`` is *drawn*
   and recorded; by default no wall-clock sleep happens
   (``latency_scale = 0``), so reports carry simulated latency while
@@ -52,13 +59,14 @@ class NetworkConfig:
     loss_rate: float = 0.0
     corrupt_rate: float = 0.0
     duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
     base_latency_ms: float = 0.2
     jitter_ms: float = 0.0
     #: Wall-clock seconds slept per simulated millisecond (0 = never sleep).
     latency_scale: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("loss_rate", "corrupt_rate", "duplicate_rate"):
+        for name in ("loss_rate", "corrupt_rate", "duplicate_rate", "reorder_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
@@ -69,7 +77,12 @@ class NetworkConfig:
 
     @property
     def any_faults(self) -> bool:
-        return bool(self.loss_rate or self.corrupt_rate or self.duplicate_rate)
+        return bool(
+            self.loss_rate
+            or self.corrupt_rate
+            or self.duplicate_rate
+            or self.reorder_rate
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +94,13 @@ class LinkDecision:
     lost: bool  #: payload zeroed + trailer inverted
     corrupted: bool  #: payload bits flipped
     duplicated: bool  #: delivered twice
+    #: Stale copies to deliver *after* the next frame in this direction
+    #: (the late-duplicate model of reordering); empty when none.
+    deferred: "tuple[bytes, ...]" = ()
+
+    @property
+    def reordered(self) -> bool:
+        return bool(self.deferred)
 
 
 def _zero_payload(raw: bytes, header: FrameHeader) -> bytes:
@@ -133,12 +153,19 @@ class SessionLink:
             corrupted = True
         duplicated = rng.random() < self.config.duplicate_rate
         deliveries = [raw, raw] if duplicated else [raw]
+        # Reordering defers an *extra* stale copy past the next frame in
+        # this direction; the draw comes last so enabling it leaves the
+        # loss/corrupt/duplicate streams of a given seed untouched.
+        deferred: "tuple[bytes, ...]" = ()
+        if rng.random() < self.config.reorder_rate:
+            deferred = (raw,)
         return LinkDecision(
             deliveries=deliveries,
             latency_ms=latency_ms,
             lost=lost,
             corrupted=corrupted,
             duplicated=duplicated,
+            deferred=deferred,
         )
 
 

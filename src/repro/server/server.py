@@ -40,6 +40,7 @@ from ..protocol.channel import BOB
 from ..protocol.serialize import BitReader, read_points
 from ..protocol.wire import HEADER_LEN, Frame, MessageType, decode_body, encode_frame
 from ..reconcile.strata import StrataEstimator
+from ..store import SketchStore
 from .session import SessionConfig, insert_all, json_payload, parse_json_payload
 from .transport import ConnectionClosedError, FrameConnection
 
@@ -51,20 +52,57 @@ MAX_BOUND = 1 << 20
 
 
 class ServerSession:
-    """Bob's state for one session on one connection."""
+    """Bob's state for one session on one connection.
 
-    def __init__(self, config: SessionConfig) -> None:
+    With a :class:`~repro.store.SketchStore` attached, Bob's derived
+    set is registered under its workload identity and sketches/strata
+    are served from the store's warm shards — byte-identical to the
+    stateless path (insert order and cache residency never reach the
+    wire), but a repeat request hits cached state instead of re-hashing
+    the set.  A session that merges pushed points has *diverged* from
+    the derived workload and silently reverts to stateless building;
+    the store keeps the derived set for the next session.
+    """
+
+    def __init__(self, config: SessionConfig, store: "SketchStore | None" = None) -> None:
         self.config = config
         self.space = config.space()
         alice, bob = config.workload()
         self.bob_points = list(bob)
         self.expected_union = set(alice) | set(bob)
         self.closed = False
+        self.store = store
+        self._store_key: "int | None" = None
+        self._diverged = False
+        if store is not None:
+            keys = self._encoded_keys()
+            if len(set(map(int, keys))) == len(keys):
+                self._store_key = config.store_key()
+                if not store.contains(self._store_key):
+                    store.put_set(self._store_key, keys, key_bits=config.key_bits)
+            # else: the sampled workload collided into a multiset; the
+            # store holds sets, so this (astronomically rare) session
+            # stays stateless to preserve exact wire parity.
+
+    def _encoded_keys(self) -> "list[int]":
+        from ..reconcile.exact_iblt import encode_point, encode_points
+
+        if self.config.key_bits <= 61:
+            return [int(k) for k in encode_points(self.space, self.bob_points)]
+        return [encode_point(self.space, point) for point in self.bob_points]
+
+    @property
+    def _warm(self) -> bool:
+        return self._store_key is not None and not self._diverged
 
     def build_sketch(self, attempt: int, bound: int) -> "tuple[bytes, int]":
         """Bob's IBLT payload for one attempt (client-matching coins)."""
         coins = self.config.attempt_coins(attempt)
         cells = cells_for_differences(bound, q=self.config.q)
+        if self._warm:
+            return self.store.serve_iblt(
+                self._store_key, coins, "exact-reconcile", cells=cells, q=self.config.q
+            )
         table = IBLT(
             coins,
             "exact-reconcile",
@@ -82,10 +120,15 @@ class ServerSession:
             self.config.strata_coins(), "service-strata", key_bits=key_bits
         )
         received = shell.from_payload(strata_payload)
-        bob_sketch = StrataEstimator(
-            self.config.strata_coins(), "service-strata", key_bits=key_bits
-        )
-        insert_all(bob_sketch, self.space, self.bob_points, key_bits)
+        if self._warm:
+            bob_sketch = self.store.serve_strata(
+                self._store_key, self.config.strata_coins(), "service-strata"
+            )
+        else:
+            bob_sketch = StrataEstimator(
+                self.config.strata_coins(), "service-strata", key_bits=key_bits
+            )
+            insert_all(bob_sketch, self.space, self.bob_points, key_bits)
         return max(4, received.subtract(bob_sketch).estimate())
 
     def merge_push(self, payload: bytes) -> "tuple[bool, int]":
@@ -96,16 +139,27 @@ class ServerSession:
             if point not in existing:
                 self.bob_points.append(point)
                 existing.add(point)
+                # Bob no longer matches the store's derived set; any
+                # further sketch for this session must be built from
+                # the merged points (the store entry stays derived).
+                self._diverged = True
         return existing == self.expected_union, len(self.bob_points)
 
 
 class ReconcileServer:
-    """Serves reconciliation sessions over framed streams."""
+    """Serves reconciliation sessions over framed streams.
 
-    def __init__(self) -> None:
+    ``store`` attaches a :class:`~repro.store.SketchStore` shared by
+    every connection and session: repeat sketch requests for unchanged
+    workloads become warm cache hits (see :class:`ServerSession`).
+    Stateless operation (``store=None``) is unchanged and pinned.
+    """
+
+    def __init__(self, store: "SketchStore | None" = None) -> None:
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.connections = 0
+        self.store = store
 
     # -- entry points ------------------------------------------------------
 
@@ -191,7 +245,7 @@ class ReconcileServer:
                                 f"HELLO session_id {config.session_id} does not "
                                 f"match frame header session {sid}"
                             )
-                        sessions[sid] = ServerSession(config)
+                        sessions[sid] = ServerSession(config, store=self.store)
                         self.sessions_opened += 1
                         await reply(sid, MessageType.HELLO_ACK, "hello-ack", b"{}")
                     except DecodeError as exc:

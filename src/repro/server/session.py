@@ -21,7 +21,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..errors import MalformedPayloadError
-from ..hashing import PublicCoins
+from ..hashing import PublicCoins, derive_seed
 from ..metric.spaces import HammingSpace, Point
 
 __all__ = [
@@ -125,6 +125,22 @@ class SessionConfig:
     @property
     def key_bits(self) -> int:
         return max(1, self.dim)
+
+    def store_key(self) -> int:
+        """Stable sketch-store key for Bob's derived set.
+
+        Folds the workload identity — everything :meth:`workload`
+        depends on — onto the store's 61-bit routing line, so any two
+        sessions deriving the same Bob set share one warm entry.
+        """
+        return derive_seed(
+            self.seed,
+            "store-workload",
+            self.session_id,
+            self.dim,
+            self.n_shared,
+            self.delta,
+        ) & ((1 << 61) - 1)
 
     def workload(self) -> "tuple[list[Point], list[Point]]":
         """Derive ``(alice_points, bob_points)`` for this session."""

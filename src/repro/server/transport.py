@@ -28,7 +28,8 @@ malicious peer can make a session *fail*, never *hang*.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from ..errors import DecodeError, TruncatedPayloadError
 from ..protocol.channel import BaseChannel, Message
@@ -81,7 +82,10 @@ class SessionWireStats:
     frames_lost: int = 0
     frames_corrupted: int = 0
     frames_duplicated: int = 0
+    frames_reordered: int = 0
     sim_latency_ms: float = 0.0
+    #: Every drawn per-frame latency, for percentile reporting.
+    sim_latency_samples: "list[float]" = field(default_factory=list)
 
     @property
     def wire_bytes(self) -> int:
@@ -95,6 +99,22 @@ class SessionWireStats:
     def framing_bytes(self) -> int:
         return self.wire_bytes - self.payload_bytes
 
+    def record_latency(self, latency_ms: float) -> None:
+        self.sim_latency_ms += latency_ms
+        self.sim_latency_samples.append(latency_ms)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the drawn per-frame latencies.
+
+        Deterministic (no interpolation) and 0.0 with no samples, so the
+        field is safe to emit in byte-pinned reports.
+        """
+        if not self.sim_latency_samples:
+            return 0.0
+        ordered = sorted(self.sim_latency_samples)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
     def to_dict(self) -> dict:
         return {
             "frames_out": self.frames_out,
@@ -105,7 +125,10 @@ class SessionWireStats:
             "frames_lost": self.frames_lost,
             "frames_corrupted": self.frames_corrupted,
             "frames_duplicated": self.frames_duplicated,
+            "frames_reordered": self.frames_reordered,
             "sim_latency_ms": round(self.sim_latency_ms, 6),
+            "sim_latency_p50_ms": round(self.latency_percentile(0.50), 6),
+            "sim_latency_p99_ms": round(self.latency_percentile(0.99), 6),
         }
 
 
@@ -163,6 +186,9 @@ class FrameMux:
         self.stats: "dict[int, SessionWireStats]" = {}
         self._reader_task: "asyncio.Task | None" = None
         self.closed = False
+        # Reordered (late-duplicate) copies waiting for the next frame in
+        # their (session, direction) stream; see NetworkConfig.reorder_rate.
+        self._deferred: "dict[tuple[int, str], list[tuple[FrameHeader, bytes]]]" = {}
 
     # -- session registry --------------------------------------------------
 
@@ -193,15 +219,18 @@ class FrameMux:
         raw = encode_frame(frame)
         stats = self._stats(frame.session_id)
         link = self._links.get(frame.session_id)
+        header = decode_header(raw[:HEADER_LEN])
         deliveries = [raw]
+        deferred: "tuple[bytes, ...]" = ()
         if link is not None:
-            header = decode_header(raw[:HEADER_LEN])
             decision = link.apply("c2s", frame.seq, header, raw)
             deliveries = decision.deliveries
-            stats.sim_latency_ms += decision.latency_ms
+            deferred = decision.deferred
+            stats.record_latency(decision.latency_ms)
             stats.frames_lost += int(decision.lost)
             stats.frames_corrupted += int(decision.corrupted)
             stats.frames_duplicated += int(decision.duplicated)
+            stats.frames_reordered += int(decision.reordered)
             if link.config.latency_scale:
                 await asyncio.sleep(decision.latency_ms * link.config.latency_scale / 1000.0)
         for raw_copy in deliveries:
@@ -209,6 +238,18 @@ class FrameMux:
             stats.frames_out += 1
             stats.wire_bytes_out += len(raw_copy)
             stats.payload_bytes_out += len(frame.payload)
+        # This frame is on the wire: any stale copy held back from an
+        # earlier frame now goes out *behind* it (out-of-order arrival),
+        # then this frame's own deferred copies start waiting.
+        for old_header, old_raw in self._deferred.pop((frame.session_id, "c2s"), ()):
+            await self.connection.write_raw(old_raw)
+            stats.frames_out += 1
+            stats.wire_bytes_out += len(old_raw)
+            stats.payload_bytes_out += old_header.payload_len
+        if deferred:
+            self._deferred[(frame.session_id, "c2s")] = [
+                (header, raw_copy) for raw_copy in deferred
+            ]
 
     # -- incoming ----------------------------------------------------------
 
@@ -236,24 +277,38 @@ class FrameMux:
         stats = self._stats(header.session_id)
         link = self._links.get(header.session_id)
         deliveries = [raw]
+        deferred: "tuple[bytes, ...]" = ()
         if link is not None:
             decision = link.apply("s2c", header.seq, header, raw)
             deliveries = decision.deliveries
-            stats.sim_latency_ms += decision.latency_ms
+            deferred = decision.deferred
+            stats.record_latency(decision.latency_ms)
             stats.frames_lost += int(decision.lost)
             stats.frames_corrupted += int(decision.corrupted)
             stats.frames_duplicated += int(decision.duplicated)
-        inbox = self._inboxes.get(header.session_id)
+            stats.frames_reordered += int(decision.reordered)
         for raw_copy in deliveries:
-            stats.frames_in += 1
-            stats.wire_bytes_in += len(raw_copy)
-            stats.payload_bytes_in += header.payload_len
-            if inbox is not None:
-                try:
-                    frame = decode_body(header, raw_copy[HEADER_LEN:])
-                except DecodeError:
-                    continue  # unusable body from a hostile peer: drop
-                inbox.put_nowait(frame)
+            self._deliver(header, raw_copy, stats)
+        # Flush stale copies behind this frame (out-of-order arrival),
+        # then park this frame's own deferred copies.
+        for old_header, old_raw in self._deferred.pop((header.session_id, "s2c"), ()):
+            self._deliver(old_header, old_raw, stats)
+        if deferred:
+            self._deferred[(header.session_id, "s2c")] = [
+                (header, raw_copy) for raw_copy in deferred
+            ]
+
+    def _deliver(self, header: FrameHeader, raw: bytes, stats: SessionWireStats) -> None:
+        stats.frames_in += 1
+        stats.wire_bytes_in += len(raw)
+        stats.payload_bytes_in += header.payload_len
+        inbox = self._inboxes.get(header.session_id)
+        if inbox is not None:
+            try:
+                frame = decode_body(header, raw[HEADER_LEN:])
+            except DecodeError:
+                return  # unusable body from a hostile peer: drop
+            inbox.put_nowait(frame)
 
     def _shutdown(self) -> None:
         self.closed = True

@@ -1,0 +1,15 @@
+"""Sharded warm-sketch store: cross-session caches for the service path.
+
+See :mod:`repro.store.store` for the design; the public surface is
+:class:`SketchStore` plus its config/stats companions.
+"""
+
+from .store import ShardRouter, SketchStore, StoreConfig, StoreEntry, StoreStats
+
+__all__ = [
+    "ShardRouter",
+    "SketchStore",
+    "StoreConfig",
+    "StoreEntry",
+    "StoreStats",
+]

@@ -112,6 +112,34 @@ class TestEscalation:
         # The fallback attempt carries the strata half-round's bits.
         assert fallback.rounds >= 3
 
+    def test_resumed_breaker_starts_at_escalated_bound(self, coins):
+        """Persisted breaker memory: a run that escalated to bound B hands
+        its final state onward, and a resumed run opens *at* B — its
+        first attempt is sized for the escalated bound, not the
+        configured initial one, and the prior escalation budget stays
+        spent."""
+        alice, bob = _workload(5, delta=12)
+        config = ResilienceConfig(max_attempts=10, max_escalations=3)
+        first = resilient_reconcile(SPACE, alice, bob, 2, coins, config=config)
+        assert first.success and first.report.escalations >= 1
+        saved = first.report.breaker
+        assert saved is not None and saved.bound > 2
+
+        # Round-trip through the serialised form, as a store would.
+        from repro.reconcile import BreakerState
+
+        restored = BreakerState.from_dict(saved.to_dict())
+        assert restored == saved
+        second = resilient_reconcile(
+            SPACE, alice, bob, 2, coins, config=config, breaker=restored
+        )
+        assert second.success
+        report = second.report
+        assert report.attempts[0].delta_bound == saved.bound
+        assert report.attempts[0].phase == "resumed"
+        assert report.escalations == 0  # the resumed bound already fits
+        assert len(report.attempts) == 1
+
     def test_budget_exhaustion_reports_failure(self, coins):
         alice, bob = _workload(5, delta=12)
         result = resilient_reconcile(

@@ -40,12 +40,12 @@ from repro.server.session import parse_json_payload
 SUITE_TIMEOUT = 60.0
 
 
-def run_service(configs, network=None, timeout=15.0):
+def run_service(configs, network=None, timeout=15.0, store=None):
     """Run sessions against a live server over a memory pipe."""
 
     async def run():
         client_conn, server_conn = memory_pipe()
-        server = ReconcileServer()
+        server = ReconcileServer(store=store)
         server_task = asyncio.ensure_future(server.serve_connection(server_conn))
         client = ReconcileClient(client_conn, network=network, timeout=timeout)
         client.start()
@@ -158,6 +158,114 @@ class TestFaultyService:
         assert report.attempts == 1
         assert report.escalations == 0
         assert not report.breaker_tripped
+
+
+def _reordering_network(seed=7):
+    return SimulatedNetwork(
+        NetworkConfig(
+            seed=derive_seed(seed, "test-reorder"),
+            reorder_rate=0.35,
+            duplicate_rate=0.1,
+            jitter_ms=0.4,
+        )
+    )
+
+
+class TestReordering:
+    def test_out_of_order_delivery_tolerated(self):
+        """Seq-dedup on both ends plus the stateless request/response
+        design tolerate genuinely out-of-order frame delivery: late
+        stale copies arrive after newer frames and every session still
+        reconciles."""
+        reports, server = run_service(_configs(4), network=_reordering_network())
+        assert all(r.success and r.union_ok for r in reports)
+        assert sum(r.wire.frames_reordered for r in reports) > 0
+        assert server.sessions_closed == 4
+
+    def test_reordered_reports_deterministic(self):
+        first, _ = run_service(_configs(4), network=_reordering_network())
+        second, _ = run_service(_configs(4), network=_reordering_network())
+        assert render_session_reports(first, seed=7) == render_session_reports(
+            second, seed=7
+        )
+
+    def test_latency_percentiles_surfaced(self):
+        reports, _ = run_service(_configs(3), network=_reordering_network())
+        document = json.loads(render_session_reports(reports, seed=7))
+        aggregate = document["aggregate"]
+        assert aggregate["frames_reordered"] > 0
+        assert 0.0 < aggregate["sim_latency_p50_ms"] <= aggregate["sim_latency_p99_ms"]
+        for entry in document["sessions"]:
+            assert 0.0 < entry["sim_latency_p50_ms"] <= entry["sim_latency_p99_ms"]
+
+    def test_no_network_percentiles_are_zero(self):
+        """Without a simulated link there are no latency draws: the
+        percentiles report 0.0 rather than failing on an empty sample."""
+        (report,), _ = run_service(_configs(1))
+        assert report.wire.sim_latency_samples == []
+        assert report.wire.latency_percentile(0.5) == 0.0
+        assert report.wire.to_dict()["sim_latency_p50_ms"] == 0.0
+
+    def test_percentile_is_nearest_rank(self):
+        from repro.server import SessionWireStats
+
+        stats = SessionWireStats()
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            stats.record_latency(value)
+        assert stats.latency_percentile(0.50) == 3.0
+        assert stats.latency_percentile(0.99) == 5.0
+        assert stats.latency_percentile(0.20) == 1.0
+
+
+class TestStoreBackedServer:
+    def _store(self):
+        from repro.store import SketchStore, StoreConfig
+
+        return SketchStore(StoreConfig(seed=7, shards=4, capacity=16))
+
+    def test_wire_parity_with_stateless(self):
+        """Acceptance: the store-backed server is byte-identical on the
+        wire to the stateless one — for the same seed and workloads the
+        rendered reports (which cover every wire counter) match, cold
+        *and* warm."""
+        stateless, _ = run_service(_configs(4))
+        baseline = render_session_reports(stateless, seed=7)
+
+        store = self._store()
+        cold, _ = run_service(_configs(4), store=store)
+        assert render_session_reports(cold, seed=7) == baseline
+        assert store.stats.misses > 0
+
+        hashed = store.stats.keys_hashed
+        warm, _ = run_service(_configs(4), store=store)
+        assert render_session_reports(warm, seed=7) == baseline
+        # The repeat run served every sketch warm: cache hits happened
+        # and not a single fresh Mersenne hash pass was paid.
+        assert store.stats.hits > 0
+        assert store.stats.rebuilds_avoided > 0
+        assert store.stats.keys_hashed == hashed
+
+    def test_faulty_link_parity(self):
+        stateless, _ = run_service(_configs(3), network=_faulty_network())
+        store = self._store()
+        backed, _ = run_service(_configs(3), network=_faulty_network(), store=store)
+        assert render_session_reports(backed, seed=7) == render_session_reports(
+            stateless, seed=7
+        )
+
+    def test_merged_push_diverges_to_stateless_build(self):
+        """After PUSH_POINTS merges Alice's difference the session no
+        longer matches the store's derived set; later sketches must be
+        built from the merged points while the store entry stays
+        derived (ready for the next session)."""
+        store = self._store()
+        reports, _ = run_service(_configs(2), store=store)
+        assert all(r.success and r.union_ok for r in reports)
+        for config in _configs(2):
+            key = config.store_key()
+            assert store.contains(key)
+            _, bob = config.workload()
+            assert len(store.keys_of(key)) == len(bob)
 
 
 class TestRenderedReport:

@@ -226,7 +226,7 @@ class TestReport:
 
 
 class TestBuiltinCampaigns:
-    def test_all_six_exist(self):
+    def test_all_seven_exist(self):
         campaigns = builtin_campaigns()
         assert set(campaigns) == {
             "iblt-threshold",
@@ -235,6 +235,7 @@ class TestBuiltinCampaigns:
             "emd-branching",
             "fault-rate",
             "multiparty-parties",
+            "store-churn",
         }
         for name, campaign in campaigns.items():
             assert campaign.name == name
