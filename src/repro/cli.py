@@ -20,6 +20,10 @@ Commands
 ``client``     Run N concurrent reconciliation sessions against a
                server, optionally over a seeded simulated lossy link,
                and emit a canonical ``repro.recon-service/v1`` report.
+``stream``     ``record`` a seeded Zipf-churn stream into a crc-stamped
+               ``repro.events/v1`` event log; ``replay`` a log through
+               per-party sketch stores over a gossip topology and emit
+               a canonical ``repro.stream/v1`` report.
 
 Examples
 --------
@@ -34,6 +38,10 @@ Examples
     python -m repro.cli serve --port 8377 --store
     python -m repro.cli client --port 8377 --sessions 8 --seed 7 \\
         --loss-rate 0.1 --duplicate-rate 0.05 --reorder-rate 0.1
+    python -m repro.cli stream record --output churn.ndjson --seed 7 \\
+        --n 32 --windows 3 --rate 6 --skew 1.2 --sources 5
+    python -m repro.cli stream replay --input churn.ndjson --seed 7 \\
+        --topology ring --parties 5
 """
 
 from __future__ import annotations
@@ -398,6 +406,80 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0 if all(r.success and r.union_ok for r in reports) else 1
 
 
+def _cmd_stream_record(args: argparse.Namespace) -> int:
+    from .stream import write_event_log
+    from .workloads import ChurnGenerator
+
+    coins = PublicCoins(args.seed).child("stream-record")
+    workload = ChurnGenerator(coins, key_bits=args.key_bits).generate(
+        n=args.n,
+        windows=args.windows,
+        rate=args.rate,
+        skew=args.skew,
+        insert_fraction=args.insert_fraction,
+        sources=args.sources,
+    )
+    count = write_event_log(
+        args.output,
+        workload.events,
+        key_bits=args.key_bits,
+        meta={
+            "seed": args.seed,
+            "n": args.n,
+            "windows": args.windows,
+            "rate": args.rate,
+            "skew": args.skew,
+            "insert_fraction": args.insert_fraction,
+            "sources": args.sources,
+        },
+    )
+    print(
+        f"recorded {count} events over {workload.windows} windows "
+        f"(final membership {len(workload.final_membership)}) -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stream_replay(args: argparse.Namespace) -> int:
+    from .core import Topology
+    from .stream import EventLogReader, StreamReplayer, render_replay_report
+
+    reader = EventLogReader.open(args.input)
+    header = reader.header()
+    events = reader.read_all()
+    coins = PublicCoins(args.seed)
+    topology = Topology.build(
+        args.topology,
+        args.parties,
+        coins=coins.child("stream-topology"),
+        branching=args.branching,
+        k=args.k_regular,
+    )
+    replayer = StreamReplayer(
+        topology,
+        coins.child("stream-replay"),
+        key_bits=header["key_bits"],
+        delta_bound=args.delta_bound,
+        q=args.q,
+        max_attempts=args.max_attempts,
+    )
+    report = replayer.replay(events)
+    print(
+        f"replayed {report.events} events over {args.topology} "
+        f"(depth {report.depth}): converged={report.converged} "
+        f"warm==cold={report.matches_cold_rebuild} bits={report.total_bits}",
+        file=sys.stderr,
+    )
+    document = render_replay_report(report, seed=args.seed, meta=dict(header["meta"]))
+    if args.output is not None:
+        args.output.write_text(document)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(document)
+    return 0 if report.success else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,6 +609,56 @@ def build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument("--output", type=Path, default=None,
                                help="write the JSON report here instead of stdout")
     client_parser.set_defaults(handler=_cmd_client)
+
+    stream_parser = sub.add_parser(
+        "stream", help="record / replay append-only churn event logs"
+    )
+    stream_sub = stream_parser.add_subparsers(dest="stream_command", required=True)
+
+    record_parser = stream_sub.add_parser(
+        "record", help="generate a seeded churn stream and write an event log"
+    )
+    record_parser.add_argument("--output", type=Path, required=True,
+                               help="event-log path (repro.events/v1 NDJSON)")
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.add_argument("--n", type=int, default=32,
+                               help="initial population (window 0 inserts)")
+    record_parser.add_argument("--windows", type=int, default=3,
+                               help="churn windows after the population")
+    record_parser.add_argument("--rate", type=int, default=6,
+                               help="mutations per churn window")
+    record_parser.add_argument("--skew", type=float, default=1.0,
+                               help="Zipf skew of delete victims over recency "
+                                    "(0 = uniform)")
+    record_parser.add_argument("--insert-fraction", type=float, default=0.5,
+                               help="probability a mutation is a fresh insert")
+    record_parser.add_argument("--sources", type=int, default=4,
+                               help="observing parties events are attributed to")
+    record_parser.add_argument("--key-bits", type=int, default=55)
+    record_parser.set_defaults(handler=_cmd_stream_record)
+
+    replay_parser = stream_sub.add_parser(
+        "replay", help="replay an event log through per-party stores over gossip"
+    )
+    replay_parser.add_argument("--input", type=Path, required=True,
+                               help="event-log path to replay")
+    replay_parser.add_argument("--topology",
+                               choices=("star", "ring", "tree", "random"),
+                               default="star")
+    replay_parser.add_argument("--parties", type=int, default=4)
+    replay_parser.add_argument("--branching", type=int, default=2,
+                               help="tree topology branching factor")
+    replay_parser.add_argument("--k-regular", type=int, default=2,
+                               help="degree of the random regular topology")
+    replay_parser.add_argument("--delta-bound", type=int, default=8,
+                               help="initial per-edge ID-sketch difference bound")
+    replay_parser.add_argument("--q", type=int, default=3)
+    replay_parser.add_argument("--max-attempts", type=int, default=6,
+                               help="ID-sketch escalation attempts per sync")
+    replay_parser.add_argument("--seed", type=int, default=0)
+    replay_parser.add_argument("--output", type=Path, default=None,
+                               help="write the JSON report here instead of stdout")
+    replay_parser.set_defaults(handler=_cmd_stream_replay)
     return parser
 
 

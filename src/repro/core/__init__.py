@@ -14,6 +14,7 @@ from .index_lower_bound import (
 )
 from .multiparty import (
     MultiPartyGapResult,
+    Topology,
     multi_party_gap,
     verify_multi_party_guarantee,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "required_dimension",
     "solve_index_via_gap",
     "MultiPartyGapResult",
+    "Topology",
     "multi_party_gap",
     "verify_multi_party_guarantee",
     "EMDParameters",

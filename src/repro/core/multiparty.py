@@ -1,23 +1,34 @@
-"""Multi-party robust reconciliation (extension; cf. [23]).
+"""Multi-party robust reconciliation over general gossip topologies.
 
 The paper's related work cites simple multi-party set reconciliation
 (Mitzenmacher & Pagh [23]).  This module lifts the *robust* Gap
-Guarantee model to ``P >= 2`` parties with the natural star
-construction the two-party protocol invites:
+Guarantee model to ``P >= 2`` parties.  Historically it hard-coded the
+star construction; it now runs over any connected :class:`Topology`
+(``star``, ``ring``, ``tree``, ``random_k_regular``), executing the
+two-party protocol along a BFS spanning tree of the topology rooted at
+the coordinator:
 
-1. a coordinator is chosen (party 0);
-2. every other party runs the two-party Gap protocol *toward* the
-   coordinator (the coordinator plays Bob), so the coordinator ends
-   with a set within ``r2`` of every point any party holds;
-3. the coordinator runs the protocol once *back* toward each party
-   (the party plays Bob), delivering everything they miss.
+1. **Convergecast** (deepest nodes first): every non-root party runs
+   the two-party Gap protocol *toward* its tree parent (the parent
+   plays Bob), so accumulated knowledge flows up and the coordinator
+   ends with a set within ``depth * r2`` of every point any party
+   holds (one ``r2`` hop per tree level, by the triangle inequality).
+2. **Broadcast** (shallowest first): each parent runs the protocol
+   once *back* toward each child (the child plays Bob), delivering
+   everything the child's subtree missed.
 
-Every pairwise run reuses the measured channel, so the reported
-communication is the true total over all ``2(P-1)`` protocol
-executions.  The resulting guarantee: every input point of every party
-is within ``2·r2`` of every party's final set (one ``r2`` hop into the
-coordinator's set, one hop out — the triangle inequality; the
-coordinator itself enjoys plain ``r2``).
+For a star the spanning tree is the star itself (every leaf at depth
+1), the hop orders reduce to ascending party index, and the per-run
+coin labels are unchanged — so star results are bit-identical to the
+pre-topology implementation (pinned by the scenario goldens).
+
+Every pairwise run reuses the measured channel and the transcript is
+itemised *per topology edge* (:attr:`MultiPartyGapResult.edge_bits`);
+topology edges outside the spanning tree carry zero bits.  The
+resulting guarantee: every input point of every party is within
+``2 * depth * r2`` of every party's final set (``depth`` hops into the
+coordinator's set, ``depth`` hops out; the coordinator itself enjoys
+``depth * r2``), which for the star is the familiar ``2 * r2``.
 """
 
 from __future__ import annotations
@@ -30,21 +41,226 @@ from ..metric.spaces import MetricSpace, Point
 from ..protocol.channel import Channel
 from .gap_protocol import GapProtocol, verify_gap_guarantee
 
-__all__ = ["MultiPartyGapResult", "multi_party_gap"]
+__all__ = [
+    "MultiPartyGapResult",
+    "Topology",
+    "multi_party_gap",
+    "verify_multi_party_guarantee",
+]
+
+#: The topology kinds :meth:`Topology.build` accepts.
+TOPOLOGY_KINDS = ("star", "ring", "tree", "random")
+
+
+def _edge(u: int, v: int) -> tuple[int, int]:
+    """The canonical (sorted) form of an undirected edge."""
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A connected undirected gossip graph over ``parties`` nodes.
+
+    ``edges`` is canonical: each edge is ``(u, v)`` with ``u < v``, the
+    tuple is sorted, and duplicates are rejected — so two topologies
+    compare equal iff they are the same graph, regardless of how their
+    edges were produced.
+    """
+
+    kind: str
+    parties: int
+    edges: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.parties < 2:
+            raise ValueError(f"need at least 2 parties, got {self.parties}")
+        seen: set[tuple[int, int]] = set()
+        for edge in self.edges:
+            u, v = edge
+            if not (0 <= u < self.parties and 0 <= v < self.parties):
+                raise ValueError(f"edge {edge} out of range for {self.parties} parties")
+            if u >= v:
+                raise ValueError(f"edge {edge} is not canonical (need u < v)")
+            if edge in seen:
+                raise ValueError(f"duplicate edge {edge}")
+            seen.add(edge)
+        if tuple(sorted(self.edges)) != self.edges:
+            raise ValueError("edges must be sorted")
+        if not self._connected():
+            raise ValueError(f"{self.kind} topology on {self.parties} parties is not connected")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def star(cls, parties: int, hub: int = 0) -> "Topology":
+        """Every party linked to the ``hub`` (the legacy construction)."""
+        if not 0 <= hub < parties:
+            raise ValueError(f"hub index {hub} out of range")
+        edges = tuple(sorted(_edge(hub, i) for i in range(parties) if i != hub))
+        return cls("star", parties, edges)
+
+    @classmethod
+    def ring(cls, parties: int) -> "Topology":
+        """Party ``i`` linked to ``(i + 1) mod parties``."""
+        edges = {_edge(i, (i + 1) % parties) for i in range(parties)}
+        return cls("ring", parties, tuple(sorted(edges)))
+
+    @classmethod
+    def tree(cls, parties: int, branching: int = 2) -> "Topology":
+        """A complete ``branching``-ary tree (node ``i``'s parent is
+        ``(i - 1) // branching``)."""
+        if branching < 1:
+            raise ValueError(f"branching must be >= 1, got {branching}")
+        edges = tuple(sorted(_edge((i - 1) // branching, i) for i in range(1, parties)))
+        return cls("tree", parties, edges)
+
+    @classmethod
+    def random_k_regular(
+        cls, parties: int, k: int, coins: PublicCoins, max_tries: int = 256
+    ) -> "Topology":
+        """A connected ``k``-regular graph, deterministic from ``coins``.
+
+        Uses the pairing (configuration) model: ``k`` stubs per node are
+        shuffled by a coins-derived generator and paired off; draws with
+        self-loops, parallel edges or a disconnected result are rejected
+        and redrawn under a new sub-label, so the same coins always
+        yield the same graph.
+        """
+        if k < 1 or k >= parties:
+            raise ValueError(f"need 1 <= k < parties, got k={k}, parties={parties}")
+        if (parties * k) % 2 != 0:
+            raise ValueError(f"parties * k must be even, got {parties} * {k}")
+        for attempt in range(max_tries):
+            rng = coins.numpy_rng("topology-k-regular", parties, k, attempt)
+            stubs = [node for node in range(parties) for _ in range(k)]
+            order = rng.permutation(len(stubs))
+            edges: set[tuple[int, int]] = set()
+            ok = True
+            for index in range(0, len(stubs), 2):
+                u = stubs[int(order[index])]
+                v = stubs[int(order[index + 1])]
+                if u == v or _edge(u, v) in edges:
+                    ok = False
+                    break
+                edges.add(_edge(u, v))
+            if not ok:
+                continue
+            try:
+                return cls("random", parties, tuple(sorted(edges)))
+            except ValueError:
+                continue  # disconnected draw: reject and redraw
+        raise RuntimeError(
+            f"no connected {k}-regular graph on {parties} nodes after {max_tries} draws"
+        )
+
+    @classmethod
+    def build(
+        cls,
+        kind: str,
+        parties: int,
+        coins: PublicCoins | None = None,
+        hub: int = 0,
+        branching: int = 2,
+        k: int = 2,
+    ) -> "Topology":
+        """Construct a topology by kind name (the CLI/scenario surface)."""
+        if kind == "star":
+            return cls.star(parties, hub=hub)
+        if kind == "ring":
+            return cls.ring(parties)
+        if kind == "tree":
+            return cls.tree(parties, branching=branching)
+        if kind == "random":
+            if coins is None:
+                raise ValueError("random topology needs PublicCoins for its edge draw")
+            return cls.random_k_regular(parties, k, coins)
+        raise ValueError(f"unknown topology kind {kind!r} (expected one of {TOPOLOGY_KINDS})")
+
+    # -- structure -----------------------------------------------------------
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """The node's neighbours in ascending order."""
+        out = [v for u, v in self.edges if u == node]
+        out += [u for u, v in self.edges if v == node]
+        return tuple(sorted(out))
+
+    def _connected(self) -> bool:
+        parents, _ = self._bfs(0)
+        return all(parents[node] is not None or node == 0 for node in range(self.parties))
+
+    def _bfs(self, root: int) -> tuple[list, list]:
+        """BFS parents and depths (sorted-neighbour visit order)."""
+        parents: list = [None] * self.parties
+        depths: list = [None] * self.parties
+        depths[root] = 0
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if depths[neighbor] is None:
+                        depths[neighbor] = depths[node] + 1
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return parents, depths
+
+    def spanning_tree(self, root: int) -> tuple[dict[int, int], dict[int, int]]:
+        """BFS spanning tree: ``(parent_of, depth_of)`` maps.
+
+        Deterministic — neighbours are visited in ascending order — so
+        every party derives the identical tree from the shared topology.
+        """
+        if not 0 <= root < self.parties:
+            raise ValueError(f"root index {root} out of range")
+        parents, depths = self._bfs(root)
+        parent_of = {node: parents[node] for node in range(self.parties) if node != root}
+        depth_of = {node: depths[node] for node in range(self.parties)}
+        return parent_of, depth_of
+
+    def depth(self, root: int) -> int:
+        """The eccentricity of ``root`` in the BFS tree (max hop count)."""
+        _, depth_of = self.spanning_tree(root)
+        return max(depth_of.values())
+
+    def gossip_schedule(self, root: int) -> tuple[list[int], list[int]]:
+        """Convergecast and broadcast node orders for the tree wave.
+
+        Convergecast runs deepest-first (ascending index within a
+        level); broadcast runs shallowest-first.  For a star rooted at
+        the hub both reduce to ascending party index — the legacy order.
+        """
+        parent_of, depth_of = self.spanning_tree(root)
+        nodes = sorted(parent_of)
+        up = sorted(nodes, key=lambda node: (-depth_of[node], node))
+        down = sorted(nodes, key=lambda node: (depth_of[node], node))
+        return up, down
 
 
 @dataclass(frozen=True)
 class MultiPartyGapResult:
-    """Outcome of the star-topology multi-party reconciliation."""
+    """Outcome of a multi-party reconciliation over a gossip topology.
+
+    ``edge_bits`` itemises the transcript per canonical topology edge as
+    ``(u, v, bits)`` triples (additive to the legacy total); edges the
+    spanning tree skipped carry zero bits.  ``depth`` is the spanning
+    tree's maximum hop count — the factor the guarantee radius scales
+    by (1 for the legacy star).
+    """
 
     success: bool
     final_sets: list[list[Point]]
     coordinator: int
     total_bits: int
     protocol_runs: int
+    topology: str = "star"
+    depth: int = 1
+    edge_bits: tuple[tuple[int, int, int], ...] = ()
 
     def party_final(self, party: int) -> list[Point]:
         return self.final_sets[party]
+
+    def edge_bits_map(self) -> dict[tuple[int, int], int]:
+        """Per-edge transcript bits keyed by canonical edge."""
+        return {(u, v): bits for u, v, bits in self.edge_bits}
 
 
 def multi_party_gap(
@@ -53,8 +269,9 @@ def multi_party_gap(
     coins: PublicCoins,
     coordinator: int = 0,
     channel: Channel | None = None,
+    topology: Topology | None = None,
 ) -> MultiPartyGapResult:
-    """Reconcile ``P`` parties' point sets through a coordinator.
+    """Reconcile ``P`` parties' point sets over a gossip topology.
 
     Parameters
     ----------
@@ -65,49 +282,71 @@ def multi_party_gap(
     party_sets:
         One point sequence per party.
     coordinator:
-        Index of the hub party.
+        The spanning-tree root (the hub of the default star).
+    topology:
+        The gossip graph; ``None`` means the legacy star centred on the
+        coordinator, whose results are bit-identical to the
+        pre-topology implementation.
 
     Notes
     -----
-    Inbound phase: party ``i``'s points that are far from the (growing)
-    coordinator set get shipped in; outbound phase: each party receives
-    the coordinator points far from *their* set.  Each phase is a
-    faithful two-party protocol run over the shared channel.
+    Convergecast phase: each party's accumulated set flows toward its
+    tree parent (deepest levels first), so the coordinator absorbs
+    every subtree.  Broadcast phase: each party receives the points its
+    subtree missed from its parent (shallowest first).  Each hop is a
+    faithful two-party protocol run over the shared channel, with coin
+    labels ``("in", child)`` / ``("out", child)`` — exactly the legacy
+    star labels when the topology is a star.
     """
     parties = [list(points) for points in party_sets]
     if len(parties) < 2:
         raise ValueError(f"need at least 2 parties, got {len(parties)}")
     if not 0 <= coordinator < len(parties):
         raise ValueError(f"coordinator index {coordinator} out of range")
+    if topology is None:
+        topology = Topology.star(len(parties), hub=coordinator)
+    elif topology.parties != len(parties):
+        raise ValueError(
+            f"topology has {topology.parties} parties but {len(parties)} sets were given"
+        )
     channel = channel if channel is not None else Channel()
 
-    hub = list(parties[coordinator])
+    parent_of, depth_of = topology.spanning_tree(coordinator)
+    up_order, down_order = topology.gossip_schedule(coordinator)
+    edge_bits = {edge: 0 for edge in topology.edges}
     runs = 0
     all_success = True
 
-    # ---- inbound: everyone -> coordinator --------------------------------
-    for index, points in enumerate(parties):
-        if index == coordinator:
-            continue
-        result = protocol.run(points, hub, coins.child("in", index), channel)
+    # ---- convergecast: subtrees -> coordinator ----------------------------
+    accumulated = [list(points) for points in parties]
+    for child in up_order:
+        parent = parent_of[child]
+        before = channel.total_bits
+        result = protocol.run(
+            accumulated[child], accumulated[parent], coins.child("in", child), channel
+        )
         runs += 1
+        edge_bits[_edge(parent, child)] += channel.total_bits - before
         if not result.success:
             all_success = False
             continue
-        hub = result.bob_final
+        accumulated[parent] = result.bob_final
 
-    # ---- outbound: coordinator -> everyone --------------------------------
+    # ---- broadcast: coordinator -> subtrees --------------------------------
     finals = [list(points) for points in parties]
-    finals[coordinator] = hub
-    for index, points in enumerate(parties):
-        if index == coordinator:
-            continue
-        result = protocol.run(hub, points, coins.child("out", index), channel)
+    finals[coordinator] = accumulated[coordinator]
+    for child in down_order:
+        parent = parent_of[child]
+        before = channel.total_bits
+        result = protocol.run(
+            finals[parent], parties[child], coins.child("out", child), channel
+        )
         runs += 1
+        edge_bits[_edge(parent, child)] += channel.total_bits - before
         if not result.success:
             all_success = False
             continue
-        finals[index] = result.bob_final
+        finals[child] = result.bob_final
 
     return MultiPartyGapResult(
         success=all_success,
@@ -115,6 +354,9 @@ def multi_party_gap(
         coordinator=coordinator,
         total_bits=channel.total_bits,
         protocol_runs=runs,
+        topology=topology.kind,
+        depth=max(depth_of.values()),
+        edge_bits=tuple((u, v, edge_bits[(u, v)]) for u, v in topology.edges),
     )
 
 
@@ -124,18 +366,21 @@ def verify_multi_party_guarantee(
     result: MultiPartyGapResult,
     r2: float,
 ) -> bool:
-    """Check the multi-party postcondition.
+    """Check the multi-party postcondition at the result's gossip depth.
 
-    Every input point of every party must be within ``r2`` of the
-    coordinator's final set and within ``2·r2`` of every party's final
-    set.
+    Every input point of every party must be within ``depth * r2`` of
+    the coordinator's final set and within ``2 * depth * r2`` of every
+    party's final set (one ``r2`` per tree hop in, one per hop out).
+    For the star (``depth == 1``) this is the legacy ``r2`` / ``2 * r2``
+    guarantee.
     """
+    depth = max(1, result.depth)
     hub_final = result.final_sets[result.coordinator]
     for points in party_sets:
-        if not verify_gap_guarantee(space, list(points), hub_final, r2):
+        if not verify_gap_guarantee(space, list(points), hub_final, depth * r2):
             return False
     for final in result.final_sets:
         for points in party_sets:
-            if not verify_gap_guarantee(space, list(points), final, 2.0 * r2):
+            if not verify_gap_guarantee(space, list(points), final, 2.0 * depth * r2):
                 return False
     return True

@@ -34,7 +34,7 @@ from ..core import (
     low_dimensional_gap_protocol,
     verify_gap_guarantee,
 )
-from ..core.multiparty import multi_party_gap, verify_multi_party_guarantee
+from ..core.multiparty import Topology, multi_party_gap, verify_multi_party_guarantee
 from ..hashing import PublicCoins, derive_seed
 from ..iblt import IBLT
 from ..lsh import BitSamplingMLSH
@@ -729,7 +729,12 @@ def _drive_store_churn(
 def _drive_multiparty(
     spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
 ) -> dict:
-    """The star-topology multi-party lift of the Gap protocol."""
+    """The multi-party lift of the Gap protocol over a gossip topology.
+
+    ``topology`` defaults to the star, whose report keeps every
+    pre-redesign key at the pre-redesign value (pinned by goldens); the
+    topology, gossip depth and per-edge transcript bits are additive.
+    """
     p = spec.params
     space = HammingSpace(p["dim"])
     r1, r2 = p["r1"], p["r2"]
@@ -752,17 +757,102 @@ def _drive_multiparty(
         k=p["parties"],
         sos_size_multiplier=6.0,
     )
-    result = multi_party_gap(protocol, party_sets, coins)
+    topology = Topology.build(
+        p.get("topology", "star"),
+        p["parties"],
+        coins=coins.child("topology"),
+        branching=p.get("branching", 2),
+        k=p.get("k_regular", 2),
+    )
+    result = multi_party_gap(protocol, party_sets, coins, topology=topology)
     holds = result.success and verify_multi_party_guarantee(
         space, party_sets, result, r2
     )
-    return {
+    metrics = {
         "success": bool(result.success),
         "rounds": result.protocol_runs,
         "bits": result.total_bits,
         "parties": p["parties"],
         "multi_party_guarantee_holds": bool(holds),
+        "topology": result.topology,
+        "gossip_depth": result.depth,
     }
+    for u, v, bits in result.edge_bits:
+        metrics[f"edge_bits_{u}_{v}"] = bits
+    return metrics
+
+
+def _drive_stream_churn(
+    spec: ScenarioSpec, rng: np.random.Generator, coins: PublicCoins
+) -> dict:
+    """Replay a churn event stream over gossip topologies.
+
+    A seeded :class:`~repro.workloads.ChurnGenerator` stream (Zipf
+    delete skew, multi-source) is replayed through per-party
+    :class:`~repro.store.SketchStore`\\ s by
+    :class:`~repro.stream.StreamReplayer`, reconciling event IDs across
+    the topology each window.  ``topology`` may name one kind or
+    ``"all"`` (the default), which replays the *same* stream over every
+    kind and reports each under a ``_<kind>`` suffix — the scenario's
+    gate is that all of them converge *and* every party's warm
+    membership sketch ends byte-identical to a cold rebuild.
+    """
+    from ..stream import StreamReplayer
+    from ..workloads import ChurnGenerator
+
+    p = spec.params
+    key_bits = p.get("key_bits", 55)
+    parties = p.get("parties", 4)
+    workload = ChurnGenerator(coins.child("churn"), key_bits=key_bits).generate(
+        n=p["n"],
+        windows=p.get("windows", 3),
+        rate=p.get("rate", 6),
+        skew=p.get("skew", 1.0),
+        insert_fraction=p.get("insert_fraction", 0.5),
+        sources=parties,
+    )
+    kinds = (
+        ("star", "ring", "tree", "random")
+        if p.get("topology", "all") == "all"
+        else (p["topology"],)
+    )
+    metrics: dict = {
+        "parties": parties,
+        "windows": workload.windows,
+        "events": len(workload.events),
+        "final_size": len(workload.final_membership),
+    }
+    overall = True
+    bits_total = 0
+    for kind in kinds:
+        topology = Topology.build(
+            kind,
+            parties,
+            coins=coins.child("topology"),
+            branching=p.get("branching", 2),
+            k=p.get("k_regular", 2),
+        )
+        replayer = StreamReplayer(
+            topology,
+            coins.child("replay"),
+            key_bits=key_bits,
+            delta_bound=p.get("delta_bound", 8),
+            q=p.get("q", 3),
+            max_attempts=p.get("max_attempts", 6),
+        )
+        report = replayer.replay(workload.events)
+        overall = overall and report.success
+        bits_total += report.total_bits
+        suffix = f"_{kind}" if len(kinds) > 1 else ""
+        metrics.update(report.to_metrics(suffix))
+        if len(kinds) == 1:
+            metrics["topology"] = kind
+    # Every scenario reports unsuffixed totals: "bits" across all
+    # replayed topologies, "rounds" as the gossip waves (one per window).
+    metrics["bits"] = bits_total
+    metrics["rounds"] = max(1, workload.windows)
+    metrics["success"] = bool(overall)
+    return metrics
 
 
 DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], dict]] = {
@@ -778,6 +868,7 @@ DRIVERS: dict[str, Callable[[ScenarioSpec, np.random.Generator, PublicCoins], di
     "resilient-recon": _drive_resilient,
     "recon-service": _drive_recon_service,
     "store-churn": _drive_store_churn,
+    "stream-churn": _drive_stream_churn,
 }
 
 
@@ -905,5 +996,20 @@ def builtin_scenarios(seed: int = 0) -> list[ScenarioSpec]:
             {"sets": 6, "n": 64, "windows": 5, "churn": 8, "guests": 2,
              "shards": 3, "capacity": 4, "delta_bound": 2,
              "max_escalations": 3, "max_attempts": 6, "key_bits": 55},
+        ),
+        # One Zipf-skewed churn stream replayed over all four gossip
+        # topologies (topology "all"): 5 parties each observe ~1/5 of
+        # the events, gossip converges every window, and the gate is
+        # convergence plus warm-equals-cold bit-identity on every
+        # party's membership sketch — per topology, under suffixed
+        # metrics.  delta_bound 8 sizes the ID sketches for the ~6
+        # events a window spreads across an edge.
+        ScenarioSpec(
+            "stream-churn-gossip",
+            "stream-churn",
+            seed,
+            {"parties": 5, "n": 32, "windows": 3, "rate": 6, "skew": 1.2,
+             "delta_bound": 8, "key_bits": 55, "k_regular": 2,
+             "branching": 2},
         ),
     ]

@@ -466,6 +466,10 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
         capacity: warm hit rate and keys hashed per run as mutation
         pressure rises and residency shrinks — the trade-off curve the
         store's incremental-maintenance path exists to bend.
+    ``churn-topology``
+        Streaming gossip cost against churn rate × topology × Zipf
+        skew: the same event stream replayed over star, ring, tree and
+        random regular graphs, itemised per edge.
     """
     campaigns = [
         SweepSpec(
@@ -580,6 +584,29 @@ def builtin_campaigns() -> dict[str, SweepSpec]:
                 "key_bits": 55,
             },
             trials=3,
+        ),
+        SweepSpec(
+            name="churn-topology",
+            protocol="stream-churn",
+            # Gossip cost against churn pressure × graph shape × key
+            # skew: the star pays its whole transcript through the hub,
+            # ring/tree/random spread it across edges at the price of
+            # gossip depth; higher skew concentrates deletes on hot
+            # recent keys without changing the per-window delta size.
+            axes={
+                "topology": ("star", "ring", "tree", "random"),
+                "rate": (4, 12),
+                "skew": (0.0, 1.5),
+            },
+            base_params={
+                "parties": 5,
+                "n": 24,
+                "windows": 3,
+                "delta_bound": 8,
+                "key_bits": 55,
+                "k_regular": 2,
+            },
+            trials=2,
         ),
     ]
     return {campaign.name: campaign for campaign in campaigns}

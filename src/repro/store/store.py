@@ -54,6 +54,7 @@ from ..iblt.iblt import IBLT
 from ..iblt.riblt import RIBLT
 from ..reconcile.resilient import BreakerState
 from ..reconcile.strata import StrataEstimator
+from ..stream.events import MutationEvent, split_mutations
 
 __all__ = ["ShardRouter", "SketchStore", "StoreConfig", "StoreEntry", "StoreStats"]
 
@@ -329,6 +330,20 @@ class SketchStore:
         if entry.riblts:
             self.stats.riblt_snapshots_dropped += len(entry.riblts)
             entry.riblts.clear()
+
+    def apply_events(self, store_key: int, events: Iterable[MutationEvent]) -> int:
+        """Apply a batch of :class:`~repro.stream.events.MutationEvent`\\ s.
+
+        The unified mutation surface: the event log, the churn
+        generator and live callers all speak events, and this method
+        reduces them to the raw ``(inserts, deletes)`` delta that
+        :meth:`apply_mutations` has always taken — same validation,
+        same in-place refreshes, same bytes.  Returns the number of
+        events applied.
+        """
+        inserts, deletes = split_mutations(events)
+        self.apply_mutations(store_key, inserts=inserts, deletes=deletes)
+        return len(inserts) + len(deletes)
 
     # -- serving -------------------------------------------------------------
     def _slot_key(self, coins: PublicCoins, label: object, *shape: int) -> tuple:

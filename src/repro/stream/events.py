@@ -1,0 +1,95 @@
+"""The unified mutation event: one set change, anywhere in the system.
+
+The paper motivates reconciliation with sensor fleets observing a live
+world — sets change continuously, not in pre-cut snapshots.  A
+:class:`MutationEvent` is the atom of that model: one key inserted into
+or deleted from a keyed set, stamped with the *time window* it belongs
+to and the *source* party that observed it.  The same dataclass rides
+the append-only event log (:mod:`repro.stream.log`), the churn workload
+generator (:mod:`repro.workloads.churn`), the gossip replayer
+(:mod:`repro.stream.replay`) and
+:meth:`repro.store.SketchStore.apply_events` — so a recorded stream and
+a live mutation share one schema end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["MutationEvent", "OPS", "events_by_window", "split_mutations"]
+
+#: The two legal operations; anything else is a malformed record.
+OPS = ("insert", "delete")
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One keyed-set mutation: ``op`` applied to ``key`` in ``window``.
+
+    ``source`` names the party that observed the event (0 for a
+    single-writer stream).  Events are value objects: frozen, ordered
+    only by the stream that carries them (the log's ``seq`` field),
+    and validated eagerly so malformed events never enter a log or a
+    store.
+    """
+
+    key: int
+    op: str
+    window: int
+    source: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {self.op!r}")
+        if not isinstance(self.key, int) or isinstance(self.key, bool) or self.key < 0:
+            raise ValueError(f"key must be a non-negative int, got {self.key!r}")
+        if not isinstance(self.window, int) or isinstance(self.window, bool) or self.window < 0:
+            raise ValueError(f"window must be a non-negative int, got {self.window!r}")
+        if not isinstance(self.source, int) or isinstance(self.source, bool) or self.source < 0:
+            raise ValueError(f"source must be a non-negative int, got {self.source!r}")
+
+    def to_record(self, seq: int) -> dict:
+        """The event's log-record fields (crc added by the log layer)."""
+        return {
+            "kind": "event",
+            "seq": int(seq),
+            "window": self.window,
+            "op": self.op,
+            "key": self.key,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MutationEvent":
+        """Rebuild an event from validated log-record fields."""
+        return cls(
+            key=record["key"],
+            op=record["op"],
+            window=record["window"],
+            source=record["source"],
+        )
+
+
+def split_mutations(events: Iterable[MutationEvent]) -> tuple[list[int], list[int]]:
+    """Split an event batch into the raw ``(inserts, deletes)`` delta.
+
+    Keys keep their order of appearance within each list — the shape
+    :meth:`repro.store.SketchStore.apply_mutations` has always taken,
+    which makes the events path a strict superset of the raw one.
+    """
+    inserts: list[int] = []
+    deletes: list[int] = []
+    for event in events:
+        if not isinstance(event, MutationEvent):
+            raise TypeError(f"expected MutationEvent, got {type(event).__name__}")
+        (inserts if event.op == "insert" else deletes).append(event.key)
+    return inserts, deletes
+
+
+def events_by_window(events: Sequence[MutationEvent]) -> dict[int, list[tuple[int, MutationEvent]]]:
+    """Group ``(seq, event)`` pairs by window (seq = position in the stream)."""
+    grouped: dict[int, list[tuple[int, MutationEvent]]] = {}
+    for seq, event in enumerate(events):
+        grouped.setdefault(event.window, []).append((seq, event))
+    return grouped

@@ -1,5 +1,6 @@
 """Synthetic workload generators for both reconciliation models."""
 
+from .churn import ChurnGenerator, ChurnWorkload
 from .generators import (
     ReconciliationWorkload,
     clustered_points,
@@ -9,6 +10,8 @@ from .generators import (
 )
 
 __all__ = [
+    "ChurnGenerator",
+    "ChurnWorkload",
     "ReconciliationWorkload",
     "clustered_points",
     "noisy_replica_pair",

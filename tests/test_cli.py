@@ -221,3 +221,4 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "emd-branching" in out
         assert "multiparty-parties" in out
+        assert "churn-topology" in out

@@ -226,7 +226,7 @@ class TestReport:
 
 
 class TestBuiltinCampaigns:
-    def test_all_seven_exist(self):
+    def test_all_eight_exist(self):
         campaigns = builtin_campaigns()
         assert set(campaigns) == {
             "iblt-threshold",
@@ -236,6 +236,7 @@ class TestBuiltinCampaigns:
             "fault-rate",
             "multiparty-parties",
             "store-churn",
+            "churn-topology",
         }
         for name, campaign in campaigns.items():
             assert campaign.name == name
