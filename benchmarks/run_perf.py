@@ -62,7 +62,16 @@ REGRESSION_FACTOR = 2.0
 #: the workload is tiny and store-bookkeeping-dominated, so its ratio is
 #: near 1x and host-sensitive; the kernel's real gate is the in-kernel
 #: assertion that both backends render byte-identical replay reports.
-UNGATED_KERNELS = frozenset({"sweep_trials", "store_warm_serve", "stream_replay"})
+#: ``riblt_decode_compiled`` compares the cached interpreter engine to
+#: the compiled FIFO peel kernel, which only exists when numba is
+#: installed — on a fallback host both columns time the same engine and
+#: the ratio pins at ~1.0x, so gating it would make the gate's verdict
+#: depend on the *environment* rather than the code.  The row's real
+#: contract is the in-kernel byte-equality assertion plus the compiled
+#: CI leg, which checks the >= 5x floor where numba is present.
+UNGATED_KERNELS = frozenset(
+    {"sweep_trials", "store_warm_serve", "stream_replay", "riblt_decode_compiled"}
+)
 
 
 def _best(callable_, repeats: int) -> float:
@@ -219,9 +228,63 @@ def bench_riblt_decode(coins: PublicCoins, n: int, repeats: int) -> tuple[float,
     decode("cached")  # warm up (and prime the shared clone cache)
     decode("scalar")
     assert outcomes["cached"] == outcomes["scalar"], "engines diverged"
+    # Both engines are interpreter paths, so this ratio is a property of
+    # the code alone (no optional dependency can change it) and the row
+    # stays regression-gated.  The compiled kernel gets its own ungated
+    # row below (``riblt_decode_compiled``).
     return (
         _best(lambda: decode("scalar"), max(2, repeats // 2)),
         _best(lambda: decode("cached"), repeats),
+    )
+
+
+def bench_riblt_decode_compiled(
+    coins: PublicCoins, n: int, repeats: int
+) -> tuple[float, float]:
+    """RIBLT peel: the cached interpreter engine vs the compiled FIFO
+    kernel (``engine="compiled"``).  When numba is missing the second
+    column falls back to timing the cached engine again, so the row is
+    always present but only meaningful on compiled hosts — the CI
+    compiled-kernels leg asserts the >= 5x floor there; locally the row
+    just tracks (see ``UNGATED_KERNELS``).  Either way the two engines'
+    decoded pairs are asserted identical."""
+    from repro.iblt import _kernels
+
+    rng = np.random.default_rng(0x51B18)
+    rows = max(256, n // 100)
+    differences = max(32, n // 800)
+    dim, side, q = 4, 256, 3
+    cells = riblt_cells_for_pairs(2 * differences + 8, q=q)
+    keys = rng.choice(1 << 55, size=rows, replace=False).astype(np.uint64)
+    values = rng.integers(0, side, size=(rows, dim), dtype=np.int64)
+    bob_keys = keys.copy()
+    bob_keys[:differences] = rng.choice(1 << 54, size=differences, replace=False).astype(
+        np.uint64
+    ) + np.uint64(1 << 54)
+    bob_values = values.copy()
+    bob_values[:differences] = rng.integers(0, side, size=(differences, dim))
+
+    table = RIBLT(
+        coins, "bench-riblt-compiled", cells=cells, q=q, key_bits=55, dim=dim, side=side
+    )
+    table.insert_batch(keys, values)
+    table.delete_batch(bob_keys, bob_values)
+
+    compiled_available = _kernels.active() is not None
+    fast_engine = "compiled" if compiled_available else "cached"
+    outcomes = {}
+
+    def decode(engine: str):
+        result = table.copy().decode(engine=engine)
+        assert result.success and result.pair_count == 2 * differences
+        outcomes[engine] = (result.inserted, result.deleted)
+
+    decode("cached")  # warm up (and, when compiling, pay the JIT once)
+    decode(fast_engine)
+    assert outcomes["cached"] == outcomes[fast_engine], "compiled engine diverged"
+    return (
+        _best(lambda: decode("cached"), max(2, repeats // 2)),
+        _best(lambda: decode(fast_engine), repeats),
     )
 
 
@@ -268,16 +331,19 @@ def bench_iblt_decode_tail(
 
 
 def bench_sweep_trials(n: int, repeats: int) -> tuple[float, float]:
-    """Sweep-campaign trial throughput: serial vs a 2-worker process pool.
+    """Sweep-campaign trial throughput: serial vs a 2-worker thread pool.
 
     Unlike the other kernels this row is not python-vs-numpy: the first
     column is ``--jobs 1`` (serial, in-process) and the second a
-    ``--jobs 2`` process pool over the *same* numpy-backend trials, so
-    ``speedup`` is the pool's parallel efficiency — bounded by the host's
-    core count and dragged below 1.0 on single-core machines by worker
-    startup, which is exactly what the tracked baseline records.  The
-    serial and parallel reports are asserted byte-identical, so the perf
-    gate doubles as a determinism check.
+    ``--jobs 2 --pool thread`` dispatch over the *same* numpy-backend
+    trials, so ``speedup`` is the pool's parallel efficiency.  Threads
+    pay no fork and no pickle, but they only overlap where the hot loops
+    release the GIL — i.e. when the compiled kernel layer is active —
+    so on a fallback host the ratio hovers near 1.0x while a compiled
+    host approaches the core count; both are host facts the tracked
+    baseline records, not code properties (see ``UNGATED_KERNELS``).
+    The serial and threaded reports are asserted byte-identical, so the
+    perf row doubles as a determinism check.
     """
     sweep = SweepSpec(
         name="bench-sweep",
@@ -288,10 +354,10 @@ def bench_sweep_trials(n: int, repeats: int) -> tuple[float, float]:
     )
     serial = SweepRunner(backend="numpy", jobs=1)
     # The parallel runner's pool is *persistent*: the first run pays the
-    # worker fork and every later campaign reuses the warm pool, which is
-    # exactly how the CLI drives multi-campaign sweeps.  Best-of timing
-    # therefore measures the steady state, not the cold start.
-    parallel = SweepRunner(backend="numpy", jobs=2)
+    # worker spin-up and every later campaign reuses the warm pool, which
+    # is exactly how the CLI drives multi-campaign sweeps.  Best-of
+    # timing therefore measures the steady state, not the cold start.
+    parallel = SweepRunner(backend="numpy", jobs=2, pool="thread")
 
     def serial_path():
         return render_sweep_report(sweep, serial.run(sweep, seed=7), seed=7)
@@ -465,6 +531,7 @@ def run(n: int, repeats: int, quick: bool) -> dict:
     record("emd_keys", *bench_emd_keys(coins, n, repeats))
     record("emd_round", *bench_emd_round(coins, n, repeats))
     record("riblt_decode", *bench_riblt_decode(coins, n, repeats))
+    record("riblt_decode_compiled", *bench_riblt_decode_compiled(coins, n, repeats))
     record("iblt_decode_tail", *bench_iblt_decode_tail(coins, n, repeats))
     record("store_warm_serve", *bench_store_warm_serve(coins, n, repeats))
     record("stream_replay", *bench_stream_replay(n, repeats))
@@ -473,6 +540,9 @@ def run(n: int, repeats: int, quick: bool) -> dict:
     record("iblt_decode", decode_py, decode_np)
     record("iblt_build_decode", build_py + decode_py, build_np + decode_np)
 
+    from repro.iblt import _kernels
+
+    status = _kernels.kernel_status()
     return {
         "meta": {
             "n": n,
@@ -481,6 +551,12 @@ def run(n: int, repeats: int, quick: bool) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            # The *resolved* kernel mode ("compiled"/"numpy") this run
+            # actually executed under — speedups from a compiled host and
+            # a fallback host are different experiments, and the baseline
+            # must say which one it recorded.
+            "kernels": status["resolved"],
+            "numba": status["numba"],
         },
         "results": results,
     }

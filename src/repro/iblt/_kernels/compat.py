@@ -1,0 +1,42 @@
+"""Optional-numba shim shared by every compiled kernel module.
+
+The kernels in this package are written as plain Python functions over
+numpy scalars/arrays.  When numba is importable, :func:`jit` wraps them
+with ``numba.njit(cache=True, nogil=True)`` so they compile to GIL-free
+machine code; when numba is absent, :func:`jit` is the identity and the
+same source runs (slowly) under the interpreter.  Keeping both spellings
+identical is what lets the parity suite force the dispatch layer on and
+verify bit-identity without numba installed, and it keeps the kernel
+implementation swappable (a Cython backend would only need to replace
+this decorator and re-export the same function names).
+
+``HAVE_NUMBA`` is consulted at probe time, not import time, by
+``repro.iblt._kernels.active`` — tests monkeypatch it to exercise the
+full dispatch path on hosts without numba.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the local/default environment
+    _numba = None
+
+#: True when numba imported successfully.  The probe in ``__init__`` reads
+#: this attribute dynamically so tests can monkeypatch it.
+HAVE_NUMBA = _numba is not None
+
+#: ``numba.__version__`` when available, else None (reported by the CLI).
+NUMBA_VERSION = getattr(_numba, "__version__", None)
+
+
+def jit(func):
+    """``numba.njit(cache=True, nogil=True)`` or the identity decorator."""
+    if _numba is None:
+        return func
+    return _numba.njit(cache=True, nogil=True)(func)
+
+
+def is_compiled(func) -> bool:
+    """True when ``func`` is a numba dispatcher (vs. the plain function)."""
+    return hasattr(func, "py_func")

@@ -1,0 +1,144 @@
+"""Nopython Mersenne-61 field kernels (scalar cores + batch loops).
+
+These mirror :mod:`repro.hashing.mersenne` exactly: the same limb-split
+mulmod with a shared Mersenne fold, the same fused Horner form for the
+checksum quadratic.  Every function returns the *canonical* residue in
+``[0, P)``, which is why dispatching between this module and the numpy
+expressions is bit-identical by construction — both compute the unique
+representative of ``a·b mod P``.
+
+All scalars are ``uint64``; batch kernels take 1-d contiguous ``uint64``
+arrays whose elements already lie in ``[0, P)`` (callers run
+``to_field`` first, as the numpy paths do).  Under numba the loops
+compile nopython/nogil; without numba the identical source runs under
+the interpreter on numpy scalar types, whose uint64 wraparound matches
+compiled semantics — that is what the no-numba parity tests exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compat import jit
+
+P = np.uint64((1 << 61) - 1)
+MASK32 = np.uint64(0xFFFFFFFF)
+MASK29 = np.uint64((1 << 29) - 1)
+S3 = np.uint64(3)
+S29 = np.uint64(29)
+S32 = np.uint64(32)
+S61 = np.uint64(61)
+
+
+@jit
+def mulmod(a, b):
+    """Scalar ``(a * b) mod P`` for ``a, b`` in ``[0, P)`` — exact uint64."""
+    a_hi = a >> S32
+    a_lo = a & MASK32
+    b_hi = b >> S32
+    b_lo = b & MASK32
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62
+    low = a_lo * b_lo  # < 2^64
+    high = a_hi * b_hi  # < 2^58
+    s = (high << S3) + (mid >> S29) + ((mid & MASK29) << S32)  # < 2^63
+    r = (s >> S61) + (s & P) + (low >> S61) + (low & P)  # < 2^62 + 16
+    r = (r >> S61) + (r & P)  # < 2P
+    if r >= P:
+        r -= P
+    return r
+
+
+@jit
+def affine(a, b, x):
+    """Scalar ``(a*x + b) mod P`` for operands in ``[0, P)``."""
+    t = mulmod(a, x) + b  # < 2^62
+    t = (t >> S61) + (t & P)
+    if t >= P:
+        t -= P
+    return t
+
+
+@jit
+def quad(a2, a1, b, x):
+    """Scalar ``(a2·x² + a1·x + b) mod P`` in Horner form, ``x`` in ``[0, P)``."""
+    return affine(affine(a2, a1, x), b, x)
+
+
+@jit
+def mul_vv(a, b):
+    """Elementwise ``(a[i] * b[i]) mod P`` over matching 1-d arrays."""
+    out = np.empty_like(a)
+    for i in range(a.shape[0]):
+        out[i] = mulmod(a[i], b[i])
+    return out
+
+
+@jit
+def mul_sv(a, b):
+    """``(a * b[i]) mod P`` for scalar ``a`` over a 1-d array."""
+    out = np.empty_like(b)
+    for i in range(b.shape[0]):
+        out[i] = mulmod(a, b[i])
+    return out
+
+
+@jit
+def affine_ssv(a, b, x):
+    """``(a*x[i] + b) mod P`` — scalar coefficients over a key batch.
+
+    This is ``PairwiseHash.hash_array``'s shape (one hash row, many keys).
+    """
+    out = np.empty_like(x)
+    for i in range(x.shape[0]):
+        out[i] = affine(a, b, x[i])
+    return out
+
+
+@jit
+def affine_svv(a, b, x):
+    """``(a*x[i] + b[i]) mod P`` — ``VectorHash.hash_rows``'s accumulator step."""
+    out = np.empty_like(x)
+    for i in range(x.shape[0]):
+        out[i] = affine(a, b[i], x[i])
+    return out
+
+
+@jit
+def affine_vvs(a, b, x):
+    """``(a[i]*x + b[i]) mod P`` — ``PrefixHasher``'s per-stream extension step."""
+    out = np.empty_like(a)
+    for i in range(a.shape[0]):
+        out[i] = affine(a[i], b[i], x)
+    return out
+
+
+@jit
+def quad_v(a2, a1, b, x):
+    """Batch checksum polynomial over field elements ``x`` (1-d)."""
+    out = np.empty_like(x)
+    for i in range(x.shape[0]):
+        out[i] = quad(a2, a1, b, x[i])
+    return out
+
+
+@jit
+def cell_index_matrix(a, b, x, block_size):
+    """Fused partitioned cell indices: the ``(q, n)`` int64 matrix
+    ``j*block_size + ((a[j]*x[i] + b[j]) mod P) % block_size``.
+
+    Replaces the broadcasted ``affine_mod_p`` + modulo + offset pipeline in
+    ``partitioned_cell_indices`` with one pass and no temporaries.  All
+    table hashes use ``bits=61``, so no fold is applied between the field
+    hash and the modulo (the numpy path's ``fold_bits`` is the identity).
+    """
+    q = a.shape[0]
+    n = x.shape[0]
+    out = np.empty((q, n), dtype=np.int64)
+    for j in range(q):
+        aj = a[j]
+        bj = b[j]
+        base = np.int64(j) * np.int64(block_size)
+        for i in range(n):
+            h = affine(aj, bj, x[i])
+            out[j, i] = base + np.int64(h % block_size)
+    return out

@@ -1,0 +1,404 @@
+"""Compiled peel loops: the IBLT scalar tail and the sum-cell FIFO peels.
+
+Three decode inner loops in this package are intrinsically sequential and
+therefore interpreter-bound on the numpy paths:
+
+* the adaptive frontier decoder's scalar tail
+  (:meth:`IBLT._peel_round_scalar`) — :func:`iblt_tail_round`;
+* the RIBLT's exact breadth-first peel (Lemma 3.10's FIFO discipline,
+  including value-error propagation) — :func:`riblt_fifo_peel`;
+* the MultisetIBLT's FIFO peel — :func:`multiset_fifo_peel`.
+
+Each kernel replays its interpreter counterpart's control flow *exactly*
+— same candidate order, same purity tests, same snapshot subtraction —
+so the peel sequence, hence the decode output, is bit-identical.  The
+wrappers in ``iblt.py``/``riblt.py``/``counting.py`` pin this against
+``engine="cached"`` and ``engine="scalar"`` in the parity tests.
+
+The sum-cell tables hold *unbounded* Python-int sums, which a compiled
+kernel cannot.  The contract is **bail, never approximate**: the wrapper
+converts cells to ``int64`` copies (refusing if any magnitude reaches
+:data:`SUM_BOUND`), every in-kernel subtraction re-checks the bound, and
+any violation returns a nonzero status — the wrapper then discards the
+copies and re-runs the untouched original lists through the interpreter.
+Purity's ``checksum·count == check_sum`` product test is guarded the
+same way: when ``|count| > SUM_BOUND // checksum`` the product already
+exceeds every representable cell sum, so the cell is impure without
+multiplying (and otherwise the product fits ``int64`` exactly).
+
+Keys are at most 61 bits (wrappers fall back for wider tables), so a
+key needs one conditional subtract to become a Mersenne field element,
+and checksum/cell hashes all use ``bits=61`` (no fold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compat import jit
+from .mersenne_kernels import P, affine, quad
+
+#: Magnitude ceiling for sum cells inside a kernel.  One subtraction step
+#: changes a sum by at most another in-bound sum, so ``2^62`` keeps every
+#: intermediate strictly inside ``int64`` with headroom for the purity
+#: product guard.
+SUM_BOUND = 1 << 62
+
+
+@jit
+def _divisible_key(count, key_total, key_limit):
+    """:func:`repro.iblt.frontier.divisible_key`, with ``-1`` for None.
+
+    numba compiles Python's floored ``//``/``%`` semantics for int64 (as
+    does numpy in the uncompiled fallback), matching the interpreter's
+    arbitrary-precision arithmetic exactly on in-bound sums.
+    """
+    if count == 0:
+        return np.int64(-1)
+    if key_total % count != 0:
+        return np.int64(-1)
+    key = key_total // count
+    if key < 0 or key >= key_limit:
+        return np.int64(-1)
+    return key
+
+
+@jit
+def _sum_cell_key(counts, key_sum, check_sum, index, key_limit, a2, a1, b):
+    """The full sum-cell purity test: the cell's key, or ``-1`` if impure.
+
+    Mirrors ``_pure_key`` (divisibility + range + ``checksum·count ==
+    check_sum``) with the overflow-guarded product described in the
+    module docstring.
+    """
+    count = counts[index]
+    key = _divisible_key(count, key_sum[index], key_limit)
+    if key < 0:
+        return np.int64(-1)
+    x = np.uint64(key)
+    if x >= P:
+        x -= P
+    check = np.int64(quad(a2, a1, b, x))
+    if check == 0:
+        if check_sum[index] != 0:
+            return np.int64(-1)
+        return key
+    acount = count if count >= 0 else -count
+    if acount > SUM_BOUND // check:
+        # product > SUM_BOUND > |check_sum|: impure, and multiplying
+        # would overflow int64.
+        return np.int64(-1)
+    if check * count != check_sum[index]:
+        return np.int64(-1)
+    return key
+
+
+@jit
+def iblt_tail_round(
+    candidates,
+    counts,
+    key_xor,
+    check_xor,
+    a2,
+    a1,
+    b,
+    ha,
+    hb,
+    block_size,
+    keys_out,
+    signs_out,
+    checks_out,
+    touched_out,
+):
+    """One adaptive-tail round of ``IBLT._peel_round_scalar``, compiled.
+
+    ``candidates`` is the round's ascending candidate array; the cell
+    arrays are the live ``int64``/``uint64`` numpy-backend cells (mutated
+    in place, exactly as the interpreter mutates them).  Scan phase:
+    every candidate with ``|count| == 1`` whose key was not already
+    claimed by an earlier candidate (the ``key in peeled`` test runs
+    *before* the checksum test, as in the interpreter) and whose checksum
+    matches is recorded.  Records are then ordered by ascending key
+    (``sorted(peeled)`` over non-negative ints == uint64 order) and
+    peeled: each key's ``q`` cells get the count/XOR updates, and every
+    mutated cell lands in ``touched_out``, which is returned sorted and
+    deduplicated (the interpreter's ``sorted(set(...))``).
+
+    Returns ``(n_peeled, n_touched)``; the caller reads
+    ``keys_out/signs_out[:n_peeled]`` for the decode output and
+    ``touched_out[:n_touched]`` as the next round's candidates.
+    """
+    n_peeled = 0
+    for position in range(candidates.shape[0]):
+        index = candidates[position]
+        count = counts[index]
+        if count != 1 and count != -1:
+            continue
+        key = key_xor[index]
+        duplicate = False
+        for t in range(n_peeled):
+            if keys_out[t] == key:
+                duplicate = True
+                break
+        if duplicate:  # sign already fixed by an earlier pure cell
+            continue
+        x = key
+        if x >= P:
+            x -= P
+        check = quad(a2, a1, b, x)
+        if check_xor[index] != check:
+            continue
+        keys_out[n_peeled] = key
+        signs_out[n_peeled] = count
+        checks_out[n_peeled] = check
+        n_peeled += 1
+    # Ascending-key peel order (insertion sort: records are <= the tail
+    # threshold, and the scan order is near-sorted already).
+    for i in range(1, n_peeled):
+        key = keys_out[i]
+        sign = signs_out[i]
+        check = checks_out[i]
+        j = i - 1
+        while j >= 0 and keys_out[j] > key:
+            keys_out[j + 1] = keys_out[j]
+            signs_out[j + 1] = signs_out[j]
+            checks_out[j + 1] = checks_out[j]
+            j -= 1
+        keys_out[j + 1] = key
+        signs_out[j + 1] = sign
+        checks_out[j + 1] = check
+    q = ha.shape[0]
+    bs_i = np.int64(block_size)
+    n_touched = 0
+    for t in range(n_peeled):
+        key = keys_out[t]
+        sign = signs_out[t]
+        check = checks_out[t]
+        x = key
+        if x >= P:
+            x -= P
+        for j in range(q):
+            h = affine(ha[j], hb[j], x)
+            cell = np.int64(j) * bs_i + np.int64(h % block_size)
+            counts[cell] -= sign
+            key_xor[cell] ^= key
+            check_xor[cell] ^= check
+            touched_out[n_touched] = cell
+            n_touched += 1
+    for i in range(1, n_touched):
+        cell = touched_out[i]
+        j = i - 1
+        while j >= 0 and touched_out[j] > cell:
+            touched_out[j + 1] = touched_out[j]
+            j -= 1
+        touched_out[j + 1] = cell
+    unique = 0
+    for i in range(n_touched):
+        cell = touched_out[i]
+        if unique == 0 or touched_out[unique - 1] != cell:
+            touched_out[unique] = cell
+            unique += 1
+    return n_peeled, unique
+
+
+@jit
+def riblt_fifo_peel(
+    counts,
+    key_sum,
+    check_sum,
+    values,
+    a2,
+    a1,
+    b,
+    ha,
+    hb,
+    block_size,
+    key_limit,
+    queue,
+    pending,
+    peel_keys,
+    peel_counts,
+    peel_values,
+):
+    """The RIBLT's exact breadth-first peel (``RIBLT.decode``'s loop).
+
+    Operates on ``int64`` copies of the cell lists; ``queue`` is an
+    ``m+1``-slot ring buffer and ``pending`` the ``PeelQueue`` dedup
+    flags.  The seeding scan pushes cells in ascending index order (the
+    ``seed_sum_cell_queue`` order, cache or not), then the FIFO loop
+    re-tests purity at pop time, records the peel snapshot (count + value
+    row — the randomized-rounding value extraction is *deferred*: the
+    wrapper replays the records in order against the caller's ``rng``, so
+    the random stream is untouched unless the kernel succeeds), and
+    subtracts the whole snapshot from the key's ``q`` cells, pushing
+    neighbours that became pure.
+
+    Returns ``(status, n_peeled)``: status 0 on completion, 1 when a sum
+    would leave the guarded ``int64`` range, 2 when the record arrays
+    filled up (pathological fluke cycles).  Nonzero status means the
+    caller must discard the arrays and decode the untouched original
+    cells with the interpreter.
+    """
+    m = counts.shape[0]
+    q = ha.shape[0]
+    dim = values.shape[1]
+    bs_i = np.int64(block_size)
+    cap = queue.shape[0]
+    out_cap = peel_keys.shape[0]
+    head = 0
+    tail = 0
+    for index in range(m):
+        if _sum_cell_key(counts, key_sum, check_sum, index, key_limit, a2, a1, b) >= 0:
+            queue[tail] = index
+            tail += 1
+            pending[index] = 1
+    n_peeled = 0
+    while head != tail:
+        index = queue[head]
+        head += 1
+        if head == cap:
+            head = 0
+        pending[index] = 0
+        key = _sum_cell_key(counts, key_sum, check_sum, index, key_limit, a2, a1, b)
+        if key < 0:
+            continue
+        if n_peeled == out_cap:
+            return 2, n_peeled
+        count = counts[index]
+        peel_keys[n_peeled] = key
+        peel_counts[n_peeled] = count
+        for d in range(dim):
+            peel_values[n_peeled, d] = values[index, d]
+        snap_key = key_sum[index]
+        snap_check = check_sum[index]
+        x = np.uint64(key)
+        if x >= P:
+            x -= P
+        for j in range(q):
+            h = affine(ha[j], hb[j], x)
+            neighbor = np.int64(j) * bs_i + np.int64(h % block_size)
+            new_count = counts[neighbor] - count
+            new_key = key_sum[neighbor] - snap_key
+            new_check = check_sum[neighbor] - snap_check
+            if (
+                new_count >= SUM_BOUND
+                or new_count <= -SUM_BOUND
+                or new_key >= SUM_BOUND
+                or new_key <= -SUM_BOUND
+                or new_check >= SUM_BOUND
+                or new_check <= -SUM_BOUND
+            ):
+                return 1, n_peeled
+            counts[neighbor] = new_count
+            key_sum[neighbor] = new_key
+            check_sum[neighbor] = new_check
+            for d in range(dim):
+                new_value = values[neighbor, d] - peel_values[n_peeled, d]
+                if new_value >= SUM_BOUND or new_value <= -SUM_BOUND:
+                    return 1, n_peeled
+                values[neighbor, d] = new_value
+            if pending[neighbor] == 0 and (
+                _sum_cell_key(
+                    counts, key_sum, check_sum, neighbor, key_limit, a2, a1, b
+                )
+                >= 0
+            ):
+                pending[neighbor] = 1
+                queue[tail] = neighbor
+                tail += 1
+                if tail == cap:
+                    tail = 0
+        n_peeled += 1
+    return 0, n_peeled
+
+
+@jit
+def multiset_fifo_peel(
+    counts,
+    key_sum,
+    check_sum,
+    a2,
+    a1,
+    b,
+    ha,
+    hb,
+    block_size,
+    key_limit,
+    queue,
+    pending,
+    peel_keys,
+    peel_counts,
+):
+    """``MultisetIBLT.decode``'s FIFO peel, compiled (no value cells).
+
+    The interpreter subtracts ``count·key`` and ``count·check`` per
+    neighbour; for a cell that just passed the purity test those equal
+    the cell's own ``key_sum``/``check_sum``, so the snapshot subtraction
+    is identical and overflow-free.  Same ring-buffer discipline, status
+    codes and bail contract as :func:`riblt_fifo_peel`; the wrapper
+    replays ``(key, count)`` records into the multiplicity dict in peel
+    order (dict insertion order is part of the pinned output).
+    """
+    m = counts.shape[0]
+    q = ha.shape[0]
+    bs_i = np.int64(block_size)
+    cap = queue.shape[0]
+    out_cap = peel_keys.shape[0]
+    head = 0
+    tail = 0
+    for index in range(m):
+        if _sum_cell_key(counts, key_sum, check_sum, index, key_limit, a2, a1, b) >= 0:
+            queue[tail] = index
+            tail += 1
+            pending[index] = 1
+    n_peeled = 0
+    while head != tail:
+        index = queue[head]
+        head += 1
+        if head == cap:
+            head = 0
+        pending[index] = 0
+        key = _sum_cell_key(counts, key_sum, check_sum, index, key_limit, a2, a1, b)
+        if key < 0:
+            continue
+        if n_peeled == out_cap:
+            return 2, n_peeled
+        count = counts[index]
+        peel_keys[n_peeled] = key
+        peel_counts[n_peeled] = count
+        snap_key = key_sum[index]
+        snap_check = check_sum[index]
+        x = np.uint64(key)
+        if x >= P:
+            x -= P
+        for j in range(q):
+            h = affine(ha[j], hb[j], x)
+            neighbor = np.int64(j) * bs_i + np.int64(h % block_size)
+            new_count = counts[neighbor] - count
+            new_key = key_sum[neighbor] - snap_key
+            new_check = check_sum[neighbor] - snap_check
+            if (
+                new_count >= SUM_BOUND
+                or new_count <= -SUM_BOUND
+                or new_key >= SUM_BOUND
+                or new_key <= -SUM_BOUND
+                or new_check >= SUM_BOUND
+                or new_check <= -SUM_BOUND
+            ):
+                return 1, n_peeled
+            counts[neighbor] = new_count
+            key_sum[neighbor] = new_key
+            check_sum[neighbor] = new_check
+            if pending[neighbor] == 0 and (
+                _sum_cell_key(
+                    counts, key_sum, check_sum, neighbor, key_limit, a2, a1, b
+                )
+                >= 0
+            ):
+                pending[neighbor] = 1
+                queue[tail] = neighbor
+                tail += 1
+                if tail == cap:
+                    tail = 0
+        n_peeled += 1
+    return 0, n_peeled

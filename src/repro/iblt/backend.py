@@ -40,6 +40,17 @@ Both modes produce identical output for any collision-free table state
 a ``~2^-61``-per-cell fluke under random coins (see the caveat in
 :mod:`repro.iblt.iblt`); on such a cell only the garbage output
 differs, never the ``success`` verdict.
+
+Orthogonal to both knobs, ``REPRO_KERNELS`` selects the *kernel mode*:
+whether the intrinsically sequential peel/hash inner loops run through
+the optional compiled layer in :mod:`repro.iblt._kernels` (numba
+``@njit(nogil=True)``) or the pure numpy/interpreter paths.  ``"auto"``
+(default) uses the compiled kernels when numba is importable and falls
+back silently otherwise; ``"compiled"`` requires them (``RuntimeError``
+when numba is missing); ``"numpy"`` forces the fallback.  Every mode is
+bit-identical — the compiled kernels replay the interpreter control
+flow exactly and bail back to it rather than ever approximating
+(``tests/test_kernels.py``).
 """
 
 from __future__ import annotations
@@ -49,15 +60,20 @@ import os
 __all__ = [
     "BACKENDS",
     "DECODE_MODES",
+    "KERNEL_MODES",
     "default_backend",
     "default_decode_mode",
+    "default_kernel_mode",
     "resolve_backend",
     "resolve_decode_mode",
+    "resolve_kernel_mode",
 ]
 
 BACKENDS = ("numpy", "python")
 
 DECODE_MODES = ("frontier", "rescan")
+
+KERNEL_MODES = ("auto", "compiled", "numpy")
 
 
 def default_backend() -> str:
@@ -96,3 +112,31 @@ def resolve_decode_mode(decode_mode: str | None) -> str:
             f"decode_mode must be one of {DECODE_MODES}, got {decode_mode!r}"
         )
     return decode_mode
+
+
+def default_kernel_mode() -> str:
+    """The *requested* kernel mode (``REPRO_KERNELS`` or ``"auto"``).
+
+    This only parses the environment; capability probing (is numba
+    importable, do the kernels self-test) happens in
+    :func:`resolve_kernel_mode`, so that merely importing this module
+    never pays a numba import.
+    """
+    mode = os.environ.get("REPRO_KERNELS", "auto").strip().lower()
+    if mode not in KERNEL_MODES:
+        raise ValueError(f"REPRO_KERNELS must be one of {KERNEL_MODES}, got {mode!r}")
+    return mode
+
+
+def resolve_kernel_mode(mode: str | None = None) -> str:
+    """Resolve a kernel-mode request to ``"compiled"`` or ``"numpy"``.
+
+    ``None`` reads :func:`default_kernel_mode`.  ``"auto"`` degrades
+    silently when the compiled layer is unusable; ``"compiled"`` raises
+    ``RuntimeError`` instead.  The first resolution to ``"compiled"``
+    runs the kernel self-test (and, with numba, the compile warm-up) —
+    see :mod:`repro.iblt._kernels`.
+    """
+    from . import _kernels
+
+    return _kernels.resolve_kernel_mode(mode)

@@ -62,6 +62,34 @@ from ..hashing.mersenne import affine_mod_p, fold_bits, to_field
 from .backend import resolve_backend, resolve_decode_mode
 from .frontier import PEEL_TAIL_THRESHOLD, KeyHashCache, PeelQueue, PeelScratch
 
+
+def _active_kernels():
+    """The compiled kernel namespace, or None (probe cached per env)."""
+    from . import _kernels
+
+    return _kernels.active()
+
+
+def kernel_hash_params(
+    checksum: Checksum, cell_hashes: "list[PairwiseHash]"
+) -> "tuple | None":
+    """Hash coefficients in the uint64 form the compiled kernels consume.
+
+    Returns ``(a2, a1, b, ha, hb)`` — checksum polynomial coefficients
+    plus per-block affine coefficient vectors — or ``None`` when any
+    hash folds below 61 bits (the kernels assume the fold is the
+    identity, which holds for every table this package builds).
+    """
+    if checksum.bits != 61 or any(h.bits != 61 for h in cell_hashes):
+        return None
+    return (
+        np.uint64(checksum.a2),
+        np.uint64(checksum.a1),
+        np.uint64(checksum.b),
+        np.array([h.a for h in cell_hashes], dtype=np.uint64),
+        np.array([h.b for h in cell_hashes], dtype=np.uint64),
+    )
+
 __all__ = [
     "IBLT",
     "IBLTDecodeResult",
@@ -171,9 +199,16 @@ def partitioned_cell_indices(
     if len(widths) == 1:
         a = np.array([cell_hash.a for cell_hash in cell_hashes], dtype=np.uint64)
         b = np.array([cell_hash.b for cell_hash in cell_hashes], dtype=np.uint64)
+        width = widths.pop()
+        if width == 61:  # fold is the identity; eligible for the fused kernel
+            kernels = _active_kernels()
+            if kernels is not None:
+                return kernels.cell_index_matrix(
+                    a, b, to_field(keys), np.uint64(block_size)
+                )
         hashed = fold_bits(
             affine_mod_p(a[:, None], b[:, None], to_field(keys)[None, :]),
-            widths.pop(),
+            width,
         )
         indices = (hashed % np.uint64(block_size)).astype(np.int64)
         indices += (np.arange(len(cell_hashes), dtype=np.int64) * block_size)[:, None]
@@ -285,6 +320,7 @@ class IBLT:
         # so repeated decodes reuse one allocation.  Not thread-safe.
         self._scratch = PeelScratch()
         self._hash_cache = KeyHashCache(self.checksum, self._cell_hashes, self.block_size)
+        self._kernel_params: tuple | None | bool = None  # lazy; False = ineligible
         self._alloc_cells()
 
     def _alloc_cells(self) -> None:
@@ -496,6 +532,7 @@ class IBLT:
         clone.tail_threshold = self.tail_threshold
         clone._scratch = self._scratch
         clone._hash_cache = self._hash_cache
+        clone._kernel_params = self._kernel_params
         clone._alloc_cells()
         return clone
 
@@ -700,6 +737,54 @@ class IBLT:
                 touched.add(cell)
         return sorted(touched)
 
+    def _tail_kernel_params(self) -> "tuple | None":
+        """Kernel hash coefficients for this table (lazy, clone-shared)."""
+        params = self._kernel_params
+        if params is None:
+            if self.key_bits <= _MAX_NUMPY_KEY_BITS:
+                params = kernel_hash_params(self.checksum, self._cell_hashes)
+            params = self._kernel_params = params if params is not None else False
+        return params or None
+
+    def _peel_round_scalar_compiled(
+        self, kernels, params: tuple, result: IBLTDecodeResult, candidates: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`_peel_round_scalar` through the compiled tail kernel.
+
+        Bit-identical by construction (the kernel replays the scan/peel
+        discipline on the same live cell arrays); returns the sorted
+        deduplicated touched cells as the next round's candidate array.
+        """
+        a2, a1, b, ha, hb = params
+        size = candidates.shape[0]
+        keys = np.empty(size, dtype=np.uint64)
+        signs = np.empty(size, dtype=np.int64)
+        checks = np.empty(size, dtype=np.uint64)
+        touched = np.empty(size * self.q, dtype=np.int64)
+        n_peeled, n_touched = kernels.iblt_tail_round(
+            candidates,
+            self.counts,
+            self.key_xor,
+            self.check_xor,
+            a2,
+            a1,
+            b,
+            ha,
+            hb,
+            np.uint64(self.block_size),
+            keys,
+            signs,
+            checks,
+            touched,
+        )
+        for position in range(n_peeled):
+            key = int(keys[position])
+            if signs[position] > 0:
+                result.inserted.append(key)
+            else:
+                result.deleted.append(key)
+        return touched[:n_touched]
+
     def _decode_numpy_frontier(self) -> IBLTDecodeResult:
         """Adaptive round-based peeling with incremental frontier tracking.
 
@@ -722,6 +807,8 @@ class IBLT:
         """
         result = IBLTDecodeResult(success=False)
         scratch = self._scratch
+        kernels = _active_kernels()
+        tail_params = self._tail_kernel_params() if kernels is not None else None
         candidates = scratch.ones_candidates(self.counts)
         # Round cap as in the rescan decoder: peeling depth is O(log m)
         # w.h.p.; the cap only guards against checksum-fluke cycles (the
@@ -730,6 +817,11 @@ class IBLT:
         while rounds_left > 0 and candidates.size:
             rounds_left -= 1
             if candidates.size <= self.tail_threshold:
+                if tail_params is not None:
+                    candidates = self._peel_round_scalar_compiled(
+                        kernels, tail_params, result, candidates
+                    )
+                    continue
                 touched_cells = self._peel_round_scalar(result, candidates.tolist())
                 candidates = np.asarray(touched_cells, dtype=np.int64)
                 continue

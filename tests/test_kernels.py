@@ -1,0 +1,599 @@
+"""The compiled kernel layer: probe, dispatch, and bit-identity.
+
+numba is an *optional* dependency and is absent from the default test
+environment, so these tests exercise the full dispatch surface by
+forcing the capability probe on (``compat.HAVE_NUMBA = True``): the
+kernels are plain Python functions when numba is missing — the
+``@njit`` decorator degrades to identity — so every dispatch site,
+argument-marshalling path and control-flow replay runs exactly as it
+would compiled, minus the machine code.  CI's compiled-kernels leg runs
+this same suite (and the rest of tier 1) with real numba installed.
+
+The load-bearing property throughout is *bit-identity*: for any table
+state, ``REPRO_KERNELS=compiled`` and ``REPRO_KERNELS=numpy`` must
+produce identical decode output, identical residual cell state, and
+identical rendered reports.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.hashing import PublicCoins
+from repro.hashing.mersenne import (
+    MERSENNE_P,
+    affine_mod_p,
+    mul_mod_p,
+    quadratic_mod_p,
+)
+from repro.iblt import (
+    IBLT,
+    RIBLT,
+    MultisetIBLT,
+    cells_for_differences,
+    riblt_cells_for_pairs,
+)
+from repro.iblt import _kernels
+from repro.iblt._kernels import compat
+from repro.iblt.backend import KERNEL_MODES, default_kernel_mode, resolve_kernel_mode
+from repro.iblt.frontier import PEEL_TAIL_THRESHOLD
+
+SEED = 20260807
+
+COINS = PublicCoins(SEED)
+
+
+@pytest.fixture
+def forced_kernels(monkeypatch):
+    """Force the probe's availability bit on and request compiled mode.
+
+    Without numba the kernels stay pure Python, so this exercises the
+    whole dispatch layer (probe, argument marshalling, control-flow
+    replay) with interpreter-speed kernels.
+    """
+    monkeypatch.setattr(compat, "HAVE_NUMBA", True)
+    monkeypatch.setenv("REPRO_KERNELS", "compiled")
+    _kernels.reset_probe_cache()
+    yield _kernels
+    _kernels.reset_probe_cache()
+
+
+@pytest.fixture
+def numpy_kernels(monkeypatch):
+    """Pin the fallback mode regardless of the ambient environment."""
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    _kernels.reset_probe_cache()
+    yield
+    _kernels.reset_probe_cache()
+
+
+def _with_mode(monkeypatch, mode: str, availability: bool, fn):
+    """Run ``fn()`` with the probe pinned to one (mode, availability)."""
+    monkeypatch.setattr(compat, "HAVE_NUMBA", availability)
+    monkeypatch.setenv("REPRO_KERNELS", mode)
+    _kernels.reset_probe_cache()
+    try:
+        return fn()
+    finally:
+        _kernels.reset_probe_cache()
+
+
+# -- probe and mode resolution ----------------------------------------------
+
+
+class TestProbe:
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert default_kernel_mode() == "auto"
+
+    def test_env_is_stripped_and_lowered(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "  Compiled ")
+        assert default_kernel_mode() == "compiled"
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "turbo")
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            default_kernel_mode()
+
+    def test_invalid_explicit_mode_rejected(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            resolve_kernel_mode("turbo")
+
+    def test_modes_tuple(self):
+        assert KERNEL_MODES == ("auto", "compiled", "numpy")
+
+    def test_compiled_without_numba_raises(self, monkeypatch):
+        monkeypatch.setattr(compat, "HAVE_NUMBA", False)
+        _kernels.reset_probe_cache()
+        with pytest.raises(RuntimeError, match="repro\\[fast\\]"):
+            resolve_kernel_mode("compiled")
+        _kernels.reset_probe_cache()
+
+    def test_auto_degrades_without_numba(self, monkeypatch):
+        assert _with_mode(monkeypatch, "auto", False, _kernels.active) is None
+        assert _with_mode(monkeypatch, "auto", False, lambda: resolve_kernel_mode()) == "numpy"
+
+    def test_numpy_mode_wins_even_when_available(self, monkeypatch):
+        assert _with_mode(monkeypatch, "numpy", True, _kernels.active) is None
+
+    def test_forced_probe_activates(self, forced_kernels):
+        assert forced_kernels.active() is forced_kernels
+        assert forced_kernels.require() is forced_kernels
+
+    def test_self_test_failure_degrades_auto_and_fails_compiled(self, monkeypatch):
+        monkeypatch.setattr(compat, "HAVE_NUMBA", True)
+        _kernels.reset_probe_cache()
+        monkeypatch.setattr(
+            _kernels, "_run_self_test", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        monkeypatch.setenv("REPRO_KERNELS", "auto")
+        assert _kernels.active() is None
+        with pytest.raises(RuntimeError, match="self-test"):
+            resolve_kernel_mode("compiled")
+        _kernels.reset_probe_cache()
+
+    def test_kernel_status_reports_error_not_raise(self, monkeypatch):
+        monkeypatch.setattr(compat, "HAVE_NUMBA", False)
+        monkeypatch.setenv("REPRO_KERNELS", "compiled")
+        _kernels.reset_probe_cache()
+        status = _kernels.kernel_status()
+        assert status["requested"] == "compiled"
+        assert str(status["resolved"]).startswith("error:")
+        assert status["numba"] is None
+        assert set(status["kernels"]) == set(_kernels.KERNEL_NAMES)
+        assert all(state == "python" for state in status["kernels"].values())
+        _kernels.reset_probe_cache()
+
+    def test_status_resolves_compiled_when_forced(self, forced_kernels):
+        status = forced_kernels.kernel_status()
+        assert (status["requested"], status["resolved"]) == ("compiled", "compiled")
+
+
+# -- Mersenne batch kernels --------------------------------------------------
+
+
+class TestMersenneParity:
+    """Seeded fuzz: kernel batch ops vs Python-int modular arithmetic."""
+
+    @pytest.fixture(scope="class")
+    def field_batches(self):
+        rng = np.random.default_rng(SEED)
+        # Mostly uniform field elements, with the edge cases planted.
+        edge = [0, 1, 2, MERSENNE_P - 1, MERSENNE_P - 2, (1 << 61) - 2]
+        draws = rng.integers(0, MERSENNE_P, size=250, dtype=np.uint64)
+        return np.concatenate([np.array(edge, dtype=np.uint64), draws])
+
+    def test_mul_vector_vector(self, forced_kernels, field_batches):
+        xs = field_batches
+        got = mul_mod_p(xs, xs[::-1].copy())
+        expected = [(int(a) * int(b)) % MERSENNE_P for a, b in zip(xs, xs[::-1])]
+        assert got.tolist() == expected
+
+    def test_mul_scalar_vector_both_orders(self, forced_kernels, field_batches):
+        scalar = np.uint64(0x0DDB_A11C_0FFE_E000 % MERSENNE_P)
+        expected = [(int(scalar) * int(x)) % MERSENNE_P for x in field_batches]
+        assert mul_mod_p(scalar, field_batches).tolist() == expected
+        assert mul_mod_p(field_batches, scalar).tolist() == expected
+
+    def test_affine_shapes(self, forced_kernels, field_batches):
+        xs = field_batches
+        a = np.uint64(987_654_321_123_456_789 % MERSENNE_P)
+        b = np.uint64(123_456_789_987_654_321 % MERSENNE_P)
+        ssv = affine_mod_p(a, b, xs)
+        assert ssv.tolist() == [
+            (int(a) * int(x) + int(b)) % MERSENNE_P for x in xs
+        ]
+        svv = affine_mod_p(a, xs[::-1].copy(), xs)
+        assert svv.tolist() == [
+            (int(a) * int(x) + int(o)) % MERSENNE_P for o, x in zip(xs[::-1], xs)
+        ]
+        vvs = affine_mod_p(xs, xs[::-1].copy(), np.uint64(42))
+        assert vvs.tolist() == [
+            (int(c) * 42 + int(o)) % MERSENNE_P for c, o in zip(xs, xs[::-1])
+        ]
+
+    def test_quadratic(self, forced_kernels, field_batches):
+        a2, a1, b = (x % MERSENNE_P for x in (0xDEAD_BEEF_CAFE, 0xF00D_4B1D, 0x7E57))
+        got = quadratic_mod_p(a2, a1, b, field_batches)
+        assert got.tolist() == [
+            (a2 * int(x) * int(x) + a1 * int(x) + b) % MERSENNE_P
+            for x in field_batches
+        ]
+
+    def test_cell_index_matrix(self, forced_kernels, field_batches):
+        kernels = forced_kernels.active()
+        rng = np.random.default_rng(SEED + 1)
+        a = rng.integers(1, MERSENNE_P, size=3, dtype=np.uint64)
+        b = rng.integers(0, MERSENNE_P, size=3, dtype=np.uint64)
+        block_size = 37
+        got = kernels.cell_index_matrix(a, b, field_batches, np.uint64(block_size))
+        assert got.dtype == np.int64
+        expected = [
+            [
+                j * block_size
+                + ((int(a[j]) * int(x) + int(b[j])) % MERSENNE_P) % block_size
+                for x in field_batches
+            ]
+            for j in range(3)
+        ]
+        assert got.tolist() == expected
+
+    def test_dispatch_matches_fallback_bitwise(self, monkeypatch, field_batches):
+        """The same call, probe on vs probe off, is bit-identical."""
+        xs = field_batches
+        a = np.uint64(55_555 % MERSENNE_P)
+        b = np.uint64(77_777 % MERSENNE_P)
+
+        def sample():
+            return (
+                mul_mod_p(xs, xs[::-1].copy()).tolist(),
+                affine_mod_p(a, b, xs).tolist(),
+                quadratic_mod_p(int(a), int(b), 99, xs).tolist(),
+            )
+
+        compiled = _with_mode(monkeypatch, "compiled", True, sample)
+        fallback = _with_mode(monkeypatch, "numpy", False, sample)
+        assert compiled == fallback
+
+
+# -- decode parity: IBLT scalar tail ----------------------------------------
+
+
+def _iblt_pair(differences: int, *, n_common: int = 400, seed: int = SEED):
+    rng = random.Random(seed)
+    cells = cells_for_differences(2 * differences)
+    table_a = IBLT(COINS, "kernel-iblt", cells=cells, q=3, key_bits=55, backend="numpy")
+    table_b = table_a._empty_clone()
+    common = rng.sample(range(1 << 55), n_common)
+    extra = rng.sample(range(1 << 55), 2 * differences)
+    table_a.insert_batch(np.array(common + extra[:differences], dtype=np.uint64))
+    table_b.insert_batch(np.array(common + extra[differences:], dtype=np.uint64))
+    return table_a.subtract(table_b)
+
+
+class TestIBLTTailParity:
+    @pytest.mark.parametrize(
+        "differences",
+        [
+            8,  # entire decode below the tail threshold: all-scalar rounds
+            PEEL_TAIL_THRESHOLD,  # frontier starts at the switch boundary
+            3 * PEEL_TAIL_THRESHOLD,  # vectorised rounds first, tail last
+        ],
+    )
+    def test_decode_parity(self, monkeypatch, differences):
+        def decode():
+            result = _iblt_pair(differences).decode()
+            return (result.success, sorted(result.inserted), sorted(result.deleted))
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode)
+        fallback = _with_mode(monkeypatch, "numpy", False, decode)
+        assert compiled[0] is True
+        assert compiled == fallback
+
+    def test_residual_state_parity_on_failure(self, monkeypatch):
+        """An over-loaded table leaves a 2-core: both modes must strand
+        the *same* cells with the same contents."""
+
+        def decode():
+            rng = random.Random(3)
+            table_a = IBLT(COINS, "kernel-core", cells=24, q=3, key_bits=55,
+                           backend="numpy")
+            table_b = table_a._empty_clone()
+            table_a.insert_batch(
+                np.array(rng.sample(range(1 << 55), 40), dtype=np.uint64)
+            )
+            delta = table_a.subtract(table_b)
+            result = delta.decode()
+            return (
+                result.success,
+                delta.counts.tolist(),
+                delta.key_xor.tolist(),
+                delta.check_xor.tolist(),
+            )
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode)
+        fallback = _with_mode(monkeypatch, "numpy", False, decode)
+        assert compiled == fallback
+        assert compiled[0] is False
+
+
+# -- decode parity: RIBLT / Multiset FIFO peel -------------------------------
+
+
+def _riblt_delta(*, seed: int = SEED, duplicates: int = 3):
+    rng = random.Random(seed)
+    table_a = RIBLT(
+        COINS, "kernel-riblt", cells=riblt_cells_for_pairs(90), q=3,
+        key_bits=48, dim=4, side=256,
+    )
+    table_b = table_a._empty_clone()
+    common = [
+        (key, tuple(rng.randrange(256) for _ in range(4)))
+        for key in rng.sample(range(1 << 48), 300)
+    ]
+    extra_a = [
+        (key, tuple(rng.randrange(256) for _ in range(4)))
+        for key in rng.sample(range(1 << 48), 25)
+    ]
+    # Duplicate pairs: the same (key, value) inserted more than once, so
+    # the peel must recover multiplicities > 1 through value division.
+    for index in range(duplicates):
+        extra_a.append(extra_a[index])
+    extra_b = [
+        (key, tuple(rng.randrange(256) for _ in range(4)))
+        for key in rng.sample(range(1 << 48), 20)
+    ]
+    table_a.insert_pairs(common + extra_a)
+    table_b.insert_pairs(common + extra_b)
+    return table_a.subtract(table_b)
+
+
+class TestRIBLTParity:
+    def test_fifo_parity_against_both_interpreter_engines(self, monkeypatch):
+        def decode(engine):
+            def run():
+                result = _riblt_delta().decode(rng=random.Random(99), engine=engine)
+                return (
+                    result.success,
+                    result.inserted,
+                    result.deleted,
+                    result.peel_rounds,
+                )
+            return run
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode(None))
+        explicit = _with_mode(monkeypatch, "compiled", True, decode("compiled"))
+        cached = _with_mode(monkeypatch, "numpy", False, decode("cached"))
+        scalar = _with_mode(monkeypatch, "numpy", False, decode("scalar"))
+        assert compiled[0] is True
+        # Value-error propagation order (Lemma 3.10's FIFO peel) pins not
+        # just the set of recovered pairs but their *order* and the round
+        # count — all three must agree exactly.
+        assert compiled == explicit == cached == scalar
+
+    def test_residual_state_parity(self, monkeypatch):
+        def decode():
+            delta = _riblt_delta()
+            delta.decode(rng=random.Random(99))
+            return (delta.counts, delta.key_sum, delta.check_sum, delta.value_sum)
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode)
+        fallback = _with_mode(monkeypatch, "numpy", False, decode)
+        assert compiled == fallback
+
+    def test_engine_compiled_requires_kernels(self, monkeypatch):
+        monkeypatch.setattr(compat, "HAVE_NUMBA", False)
+        _kernels.reset_probe_cache()
+        with pytest.raises(RuntimeError, match="repro\\[fast\\]"):
+            _riblt_delta().decode(engine="compiled")
+        _kernels.reset_probe_cache()
+
+    def test_invalid_engine_message_lists_compiled(self):
+        with pytest.raises(ValueError, match="compiled"):
+            _riblt_delta().decode(engine="warp")
+
+    def test_overflow_bails_to_interpreter(self, forced_kernels, monkeypatch):
+        """A value_sum cell at the kernel's magnitude bound must make the
+        compiled path bail *before* touching table state, leaving decode
+        to the interpreter — bit-identical to the fallback mode."""
+        delta = _riblt_delta()
+        delta.value_sum[0] = list(delta.value_sum[0])
+        delta.value_sum[0] = [1 << 62] + list(delta.value_sum[0])[1:]
+        assert delta._decode_compiled(forced_kernels, random.Random(1)) is None
+
+        huge = _riblt_delta()
+        huge.value_sum[1] = [-(1 << 70)] + list(huge.value_sum[1])[1:]
+        assert huge._decode_compiled(forced_kernels, random.Random(1)) is None
+
+        def decode():
+            table = _riblt_delta()
+            table.value_sum[0] = [1 << 62] + list(table.value_sum[0])[1:]
+            result = table.decode(rng=random.Random(99))
+            return (result.success, result.inserted, result.deleted)
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode)
+        fallback = _with_mode(monkeypatch, "numpy", False, decode)
+        assert compiled == fallback
+
+
+class TestMultisetParity:
+    def test_multiplicity_parity(self, monkeypatch):
+        def decode():
+            rng = random.Random(5)
+            table_a = MultisetIBLT(COINS, "kernel-mset", cells=256, backend="numpy")
+            table_b = table_a._empty_clone()
+            keys = rng.sample(range(1 << 55), 60)
+            for key in keys[:40]:
+                table_a.insert(key, rng.randrange(1, 6))
+            for key in keys[20:]:
+                table_b.insert(key, rng.randrange(1, 6))
+            delta = table_a.subtract(table_b)
+            result = delta.decode()
+            # Insertion *order* of the multiplicity dict is part of the
+            # contract (it is the peel order), so compare items, not sets.
+            return (result.success, list(result.multiplicities.items()))
+
+        compiled = _with_mode(monkeypatch, "compiled", True, decode)
+        fallback = _with_mode(monkeypatch, "numpy", False, decode)
+        assert compiled[0] is True
+        assert compiled == fallback
+
+
+# -- auto-degrade without numba ---------------------------------------------
+
+
+class TestAutoDegrade:
+    def test_degrades_cleanly_when_numba_import_is_blocked(self, tmp_path):
+        """End-to-end in a subprocess: a meta-path blocker makes ``import
+        numba`` raise, REPRO_KERNELS=auto must silently use the fallback
+        and decode correctly."""
+        script = tmp_path / "degrade.py"
+        script.write_text(
+            "\n".join(
+                [
+                    "import sys",
+                    "class _Block:",
+                    "    def find_spec(self, name, path=None, target=None):",
+                    "        if name == 'numba' or name.startswith('numba.'):",
+                    "            raise ImportError('numba blocked for test')",
+                    "        return None",
+                    "sys.meta_path.insert(0, _Block())",
+                    "import os",
+                    "os.environ['REPRO_KERNELS'] = 'auto'",
+                    "import random",
+                    "import numpy as np",
+                    "from repro.hashing import PublicCoins",
+                    "from repro.iblt import IBLT, _kernels, cells_for_differences",
+                    "from repro.iblt._kernels import compat",
+                    "assert compat.HAVE_NUMBA is False",
+                    "assert _kernels.active() is None",
+                    "rng = random.Random(1)",
+                    "coins = PublicCoins(9)",
+                    "a = IBLT(coins, 't', cells=cells_for_differences(32))",
+                    "b = a._empty_clone()",
+                    "keys = rng.sample(range(1 << 55), 216)",
+                    "a.insert_batch(np.array(keys[:200], dtype=np.uint64))",
+                    "b.insert_batch(np.array(keys[16:], dtype=np.uint64))",
+                    "result = a.subtract(b).decode()",
+                    "assert result.success and result.difference_count == 32",
+                    "print('DEGRADE-OK')",
+                ]
+            )
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "DEGRADE-OK" in proc.stdout
+
+
+# -- threaded sweeps ---------------------------------------------------------
+
+
+class TestThreadedSweeps:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        from repro.experiments import SweepSpec
+
+        return SweepSpec(
+            name="kernel-sweep",
+            protocol="iblt-load",
+            axes={"cells": (48, 96)},
+            base_params={"n": 64, "differences": 12},
+            trials=3,
+        )
+
+    def test_pool_validation(self):
+        from repro.experiments import SweepRunner
+
+        with pytest.raises(ValueError, match="pool"):
+            SweepRunner(pool="fibers")
+
+    def test_auto_resolution(self, forced_kernels, monkeypatch):
+        from repro.experiments import SweepRunner
+
+        runner = SweepRunner(jobs=2)
+        try:
+            # Compiled kernels active: always threads.
+            assert runner._resolve_pool_mode(1000) == "thread"
+            monkeypatch.setenv("REPRO_KERNELS", "numpy")
+            _kernels.reset_probe_cache()
+            # Fallback: threads only for small campaigns.
+            assert runner._resolve_pool_mode(8) == "thread"
+            assert runner._resolve_pool_mode(1000) == "process"
+        finally:
+            runner.close()
+        from repro.experiments.sweeps import SweepRunner as _SR
+
+        assert _SR(jobs=1, pool="thread")._resolve_pool_mode(8) == "serial"
+
+    def test_reports_byte_identical_across_pools(self, tiny_sweep, numpy_kernels):
+        from repro.experiments import SweepRunner, render_sweep_report
+
+        reports = {}
+        for pool in ("serial", "thread", "process"):
+            with SweepRunner(backend="numpy", jobs=2, pool=pool) as runner:
+                points = runner.run(tiny_sweep, seed=SEED)
+                reports[pool] = render_sweep_report(tiny_sweep, points, seed=SEED)
+        assert reports["serial"] == reports["thread"] == reports["process"]
+
+    def test_thread_pool_with_forced_kernels_matches_serial(
+        self, tiny_sweep, forced_kernels
+    ):
+        from repro.experiments import SweepRunner, render_sweep_report
+
+        with SweepRunner(backend="numpy", jobs=1) as serial, SweepRunner(
+            backend="numpy", jobs=2, pool="thread"
+        ) as threaded:
+            serial_report = render_sweep_report(
+                tiny_sweep, serial.run(tiny_sweep, seed=SEED), seed=SEED
+            )
+            threaded_report = render_sweep_report(
+                tiny_sweep, threaded.run(tiny_sweep, seed=SEED), seed=SEED
+            )
+        assert serial_report == threaded_report
+
+    def test_thread_mode_restores_env(self, tiny_sweep, numpy_kernels, monkeypatch):
+        import os
+
+        from repro.experiments import SweepRunner
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with SweepRunner(backend="python", jobs=2, pool="thread") as runner:
+            points = runner.run(tiny_sweep, seed=SEED)
+        assert "REPRO_BACKEND" not in os.environ
+        assert all(
+            result.backend == "python"
+            for point in points
+            for result in point.results
+        )
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestKernelsCLI:
+    def test_kernels_subcommand_fallback(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_KERNELS", "auto")
+        _kernels.reset_probe_cache()
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "resolved mode" in out and "numpy" in out
+        _kernels.reset_probe_cache()
+
+    def test_kernels_subcommand_errors_nonzero(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr(compat, "HAVE_NUMBA", False)
+        monkeypatch.setenv("REPRO_KERNELS", "compiled")
+        _kernels.reset_probe_cache()
+        assert main(["kernels"]) == 1
+        assert "error" in capsys.readouterr().out
+        _kernels.reset_probe_cache()
+
+    def test_sweep_pool_flag(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        _kernels.reset_probe_cache()
+        out_thread = tmp_path / "thread.json"
+        out_serial = tmp_path / "serial.json"
+        base = ["sweep", "--campaign", "iblt-threshold", "--seed", "3",
+                "--trials", "1"]
+        assert main(base + ["--jobs", "2", "--pool", "thread",
+                            "--output", str(out_thread)]) == 0
+        assert main(base + ["--pool", "serial", "--output", str(out_serial)]) == 0
+        assert out_thread.read_bytes() == out_serial.read_bytes()
+        _kernels.reset_probe_cache()
